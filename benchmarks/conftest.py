@@ -1,0 +1,46 @@
+"""Shared fixtures for the figure/table regeneration harness.
+
+``REPRO_BENCH_SCALE`` (default 0.12) sets the benchmark scale: 1.0 is the
+paper's entity counts (hours of pure-Python simulation — the paper's own
+full-system runs took days per frame), 0.1-0.3 regenerates every shape in
+minutes.  Rendered tables are written to ``results/``.
+"""
+
+import os
+
+import pytest
+
+from repro.workloads import run_all
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+BENCH_FRAMES = int(os.environ.get("REPRO_BENCH_FRAMES", "3"))
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def runs():
+    """All eight benchmarks simulated once per session."""
+    return run_all(
+        scale=BENCH_SCALE,
+        frames=BENCH_FRAMES,
+        measure_from=max(0, BENCH_FRAMES - 2),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str):
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print("\n" + text)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Time an experiment driver exactly once through pytest-benchmark."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,21 @@
+"""§8.2.1 — area estimates and flexible-vs-static arbitration."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import area_table
+from repro.arch.area import area_mm2
+
+
+def test_area_and_static_overhead(runs, benchmark, save_result):
+    data, text = run_once(benchmark, area_table)
+    save_result("area", text)
+    # Paper §8.2.1 core-pool areas (our constants are derived from these
+    # totals, so they must reproduce exactly at the paper's counts).
+    assert abs(area_mm2("desktop", 30) - 1388) < 15
+    assert abs(area_mm2("console", 43) - 926) < 10
+    assert abs(area_mm2("shader", 150) - 591) < 6
+    # Pools ordered by total area: shader cheapest despite most cores.
+    assert data["shader"] < data["console"] < data["desktop"]
+    # Static mapping wastes a significant fraction of FG cores under a
+    # skewed load (paper: +34% for shaders).
+    assert data["static_mapping_overhead"] >= 0.2

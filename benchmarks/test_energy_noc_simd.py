@@ -1,0 +1,38 @@
+"""Energy, NoC-topology, and SIMD extension benches."""
+
+from conftest import run_once
+
+from repro.analysis.extensions import (
+    energy_comparison,
+    noc_sensitivity,
+    simd_ablation,
+)
+
+
+def test_energy_comparison(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: energy_comparison(runs))
+    save_result("energy", text)
+    # The shader pool's area win (§8.2.1) extends to energy and EDP.
+    assert data["shader"]["dynamic_j"] == min(
+        d["dynamic_j"] for d in data.values()
+    )
+    assert data["shader"]["edp"] == min(d["edp"] for d in data.values())
+    assert data["desktop"]["total_j"] > data["console"]["total_j"]
+
+
+def test_noc_topology(runs, benchmark, save_result):
+    data, text = run_once(benchmark, noc_sensitivity)
+    save_result("noc", text)
+    # Paper §7.2: the torus is slightly better in latency; both contend
+    # under a hotspot.
+    assert data["torus"]["avg_latency"] <= data["mesh"]["avg_latency"]
+    assert data["mesh"]["hotspot_slowdown"] > 1.2
+
+
+def test_simd_remark(runs, benchmark, save_result):
+    data, text = run_once(benchmark, simd_ablation)
+    save_result("simd", text)
+    # Paper §8.2: island (bursty FP) is the SIMD candidate; branchy
+    # narrowphase is not.
+    assert data["island"]["speedup"] > 1.0
+    assert data["island"]["speedup"] >= data["narrowphase"]["speedup"]

@@ -1,0 +1,57 @@
+"""Extension experiments: Model 2, dispatch protocol, prefetch, way
+partitioning — the paper's §8.3, §7.3 and §6.2 future-work threads."""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.extensions import (
+    model2_feasibility,
+    prefetch_study,
+    protocol_overhead,
+    waypart_validation,
+)
+from repro.arch.model2 import paper_example_seconds
+
+
+def test_model2_discrete_accelerator(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: model2_feasibility(runs))
+    save_result("model2", text)
+    # Every benchmark's frame-boundary traffic is a trivial share of the
+    # 33ms frame — the paper's argument for PhysX-style accelerators.
+    for name, d in data.items():
+        assert d["feasible"], name
+        assert d["frame_budget_fraction"] < 0.05
+    # The paper's worked example lands at ~0.00006s.
+    assert abs(paper_example_seconds() - 6e-5) / 6e-5 < 0.2
+
+
+def test_protocol_overhead(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: protocol_overhead(runs))
+    save_result("protocol", text)
+    for kernel, d in data.items():
+        # Batching 100 iterations keeps header overhead small ...
+        assert d["overhead_batched"] < 0.15
+        # ... while per-iteration dispatch would drown in headers.
+        assert d["overhead_single"] > 0.3
+
+
+def test_prefetch_future_work(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: prefetch_study(runs))
+    save_result("prefetch", text)
+    # The solver's linear island sweeps prefetch nearly perfectly; the
+    # pointer-heavy broadphase benefits least.
+    assert data["island_processing"]["coverage"] > 0.6
+    assert (
+        data["broadphase"]["coverage"]
+        <= data["island_processing"]["coverage"]
+    )
+
+
+def test_waypart_model_validation(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: waypart_validation(runs))
+    save_result("waypart", text)
+    # The stack-distance partition model must closely track the exact
+    # way-partitioned simulator on the serial phases.
+    for phase, d in data.items():
+        assert d["relative_error"] < 0.15, phase

@@ -1,0 +1,46 @@
+"""Figure 10 — FG core IPC and the number of cores needed for 30 FPS."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig10a, fig10b
+
+
+def test_fig10a_ipc(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig10a(runs))
+    save_result("fig10a", text)
+    # Paper shapes: island has bursty ILP (limit > 3, scales with window);
+    # narrowphase is branch-bound (limit gains little over desktop);
+    # shader is the slowest everywhere.
+    assert data["limit"]["island"] > 3.0
+    assert data["limit"]["island"] > data["desktop"]["island"]
+    assert data["desktop"]["island"] > data["console"]["island"]
+    assert data["limit"]["narrowphase"] < data["desktop"]["narrowphase"] * 1.25
+    for kernel in ("narrowphase", "island", "cloth"):
+        assert data["shader"][kernel] == min(
+            data[d][kernel] for d in data
+        )
+
+
+def test_fig10b_cores_required(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig10b(runs))
+    save_result("fig10b", text)
+    # Paper: simpler cores need more copies (desktop < console < shader
+    # at every budget), and tighter budgets need more cores.
+    for budget in (1.0, 0.25, 0.32):
+        assert (
+            data["desktop"][budget]
+            <= data["console"][budget]
+            <= data["shader"][budget]
+        )
+    for design in data:
+        assert data[design][0.125] >= data[design][1.0]
+    # Area ordering reverses the core-count ordering: the shader pool is
+    # the cheapest way to buy the 30 FPS throughput (paper §8.2.1).
+    from repro.arch.area import fg_pool_area
+
+    budget = 0.32
+    areas = {
+        d: fg_pool_area(d if d != "limit" else "desktop", data[d][budget])
+        for d in data
+    }
+    assert areas["shader"] == min(areas.values())

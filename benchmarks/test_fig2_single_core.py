@@ -1,0 +1,41 @@
+"""Figure 2 — single-core execution and serial-phase L2 scaling."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import L2_SWEEP, fig2a, fig2b
+from repro.profiling.report import PHASES
+
+MB = 1024 * 1024
+
+
+def test_fig2a_breakdown(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig2a(runs))
+    save_result("fig2a", text)
+    # Paper shapes: every benchmark spends most time in parallel phases;
+    # serial phases are a minority (avg 9%) but non-zero everywhere.
+    for name, phases in data.items():
+        total = sum(phases.values())
+        serial = phases["broadphase"] + phases["island_creation"]
+        assert 0 < serial < 0.5 * total
+    # Deformable and mix are dominated by cloth among their phases.
+    assert data["deformable"]["cloth"] == max(
+        data["deformable"][p] for p in PHASES
+    )
+    # Mix is the most expensive benchmark end to end.
+    totals = {n: sum(p.values()) for n, p in data.items()}
+    assert totals["mix"] == max(totals.values())
+
+
+def test_fig2b_serial_l2_scaling(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig2b(runs))
+    save_result("fig2b", text)
+    for name, curve in data.items():
+        sizes = sorted(curve)
+        times = [curve[s] for s in sizes]
+        # Monotone non-increasing with capacity ...
+        for a, b in zip(times, times[1:]):
+            assert b <= a + 1e-12
+        # ... and the gains saturate: the last doubling (16->32MB) buys
+        # almost nothing (the paper's "realistic 32MB" plateau).
+        if times[0] > 0:
+            assert times[-1] >= times[-2] * 0.98 - 1e-9

@@ -1,0 +1,57 @@
+"""Figures 3 and 4 — per-phase dedicated-L2 scaling."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig3a, fig3b, fig4a, fig4b
+
+MB = 1024 * 1024
+
+
+def _assert_monotone_saturating(data):
+    for name, curve in data.items():
+        sizes = sorted(curve)
+        times = [curve[s] for s in sizes]
+        for a, b in zip(times, times[1:]):
+            assert b <= a + 1e-12, name
+    return True
+
+
+def test_fig3a_broadphase_dedicated(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig3a(runs))
+    save_result("fig3a", text)
+    _assert_monotone_saturating(data)
+
+
+def test_fig3b_narrowphase_dedicated(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig3b(runs))
+    save_result("fig3b", text)
+    _assert_monotone_saturating(data)
+    # Paper: the pair-heavy benchmarks (explosions, highspeed) are the
+    # most L2-sensitive in narrowphase.
+    def sensitivity(name):
+        curve = data[name]
+        lo, hi = curve[min(curve)], curve[max(curve)]
+        return (lo - hi) / lo if lo > 0 else 0.0
+
+    heavy = max(sensitivity("explosions"), sensitivity("highspeed"),
+                sensitivity("mix"))
+    light = sensitivity("ragdoll")
+    assert heavy >= light - 1e-9
+
+
+def test_fig4a_island_creation_dedicated(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig4a(runs))
+    save_result("fig4a", text)
+    _assert_monotone_saturating(data)
+
+
+def test_fig4b_island_processing_dedicated(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig4b(runs))
+    save_result("fig4b", text)
+    _assert_monotone_saturating(data)
+    # Paper: Island Processing is relatively insensitive to L2 size — the
+    # solver re-sweeps a compact working set every iteration.
+    for name, curve in data.items():
+        lo, hi = curve[min(curve)], curve[max(curve)]
+        if lo > 0:
+            assert (lo - hi) / lo < 0.5, name

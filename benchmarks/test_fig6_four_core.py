@@ -1,0 +1,33 @@
+"""Figure 6 — four-core execution and the thread-scaling L2-miss blowup."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig2a, fig6a, fig6b
+
+
+def test_fig6a_four_core_breakdown(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig6a(runs))
+    save_result("fig6a", text)
+    # Against the 1-core/1MB baseline, the partitioned 12MB 4-core config
+    # improves every benchmark's frame time (the paper's ~3x).
+    base, _ = fig2a(runs)
+    for name in data:
+        t4 = sum(data[name].values())
+        t1 = sum(base[name].values())
+        assert t4 < t1
+
+
+def test_fig6b_miss_blowup(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig6b(runs))
+    save_result("fig6b", text)
+    # Paper: scaling 4 -> 8 threads explodes L2 misses, mostly kernel
+    # accesses from the per-thread OS memory jump (850KB -> 5MB).
+    total = {
+        t: v["user"] + v["kernel"] for t, v in data.items()
+    }
+    assert total[8] > total[4]
+    assert data[8]["kernel"] > data[4]["kernel"] * 2
+    # Kernel misses are the majority of the 8-thread increase.
+    increase = total[8] - total[4]
+    kernel_increase = data[8]["kernel"] - data[4]["kernel"]
+    assert kernel_increase > 0.5 * increase

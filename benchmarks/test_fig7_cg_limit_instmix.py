@@ -1,0 +1,39 @@
+"""Figure 7 — the CG-parallelism limit and phase instruction mixes."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig7a, fig7b
+from repro.profiling.tasks import cg_speedup
+
+
+def test_fig7a_cg_limit(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig7a(runs))
+    save_result("fig7a", text)
+    # Paper: even with unlimited ideal cores, Deformable and Mix keep a
+    # large residual in Island Processing + Cloth because the largest
+    # island/cloth bounds CG scaling.
+    residual = {n: d["island_processing"] + d["cloth"] for n, d in data.items()}
+    assert residual["mix"] > residual["ragdoll"]
+    assert residual["deformable"] > residual["continuous"]
+    # The bound really is the largest CG unit: ideal speedup of cloth on
+    # deformable is tiny (one 625-vertex drape dominates).
+    s = cg_speedup(runs["deformable"].measured, "cloth", 10_000)
+    per_step = runs["deformable"].measured["cloth"].per_step_cg_tasks()
+    biggest_share = max(
+        (max(ts) / sum(ts)) for ts in per_step if ts
+    )
+    assert s <= 1.0 / biggest_share + 1e-6
+
+
+def test_fig7b_phase_mix(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig7b(runs))
+    save_result("fig7b", text)
+    # Paper: serial phases + narrowphase integer dominant with branches;
+    # island processing and cloth FP dominant.
+    for phase in ("broadphase", "island_creation", "narrowphase"):
+        fp = data[phase]["float_add"] + data[phase]["float_mult"]
+        assert fp < 0.2
+        assert data[phase]["branch"] >= 0.1
+    for phase in ("island_processing", "cloth"):
+        fp = data[phase]["float_add"] + data[phase]["float_mult"]
+        assert fp > 0.25

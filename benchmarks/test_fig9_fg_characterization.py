@@ -1,0 +1,41 @@
+"""Figure 9 + §8.1.2 — FG computation characterization."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig9a, fig9b, kernel_footprints
+
+
+def test_fig9a_cg_fg_decomposition(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig9a(runs))
+    save_result("fig9a", text)
+    one, four = data["1P"], data["4P"]
+    # Paper: serial time barely changes with cores, CG-parallel and FG
+    # components shrink going 1P -> 4P.
+    assert four["serial"] <= one["serial"] * 1.1
+    assert four["fg"] < one["fg"]
+    assert four["cg_parallel"] <= one["cg_parallel"] * 1.1
+    # FG-eligible work dominates the parallel phases.
+    assert one["fg"] > one["cg_parallel"]
+
+
+def test_fig9b_kernel_mix(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig9b(runs))
+    save_result("fig9b", text)
+    # Paper Fig 9(b): narrowphase ~8% branches, few FP adds/mults; island
+    # and cloth carry ~30% FP data-flow.
+    assert abs(data["narrowphase"]["branch"] - 0.08) < 0.03
+    nf = data["narrowphase"]["float_add"] + data["narrowphase"]["float_mult"]
+    assert nf < 0.10
+    for kernel in ("island", "cloth"):
+        fp = data[kernel]["float_add"] + data[kernel]["float_mult"]
+        assert fp > 0.25
+
+
+def test_kernel_footprints(runs, benchmark, save_result):
+    data, text = run_once(benchmark, kernel_footprints)
+    save_result("kernel_footprints", text)
+    # Paper §8.1.2: largest kernel ~1.1KB of 32-bit code; all three fit
+    # in 2.7KB.
+    assert data["narrowphase"]["code_bytes_32bit"] <= 1.2 * 1024
+    assert data["all_kernels_code_bytes_32bit"] <= 2.8 * 1024
+    assert data["narrowphase"]["read_bytes_per_100"] == 1668

@@ -1,0 +1,41 @@
+"""Tables 3 and 4 — benchmark instruction counts and scene statistics."""
+
+from conftest import run_once
+
+from repro.analysis.tables import (
+    PAPER_TABLE3_MINST,
+    PAPER_TABLE4,
+    table3,
+    table4,
+)
+
+
+def test_table3_instructions_per_frame(runs, benchmark, save_result):
+    text = run_once(benchmark, lambda: table3(runs))
+    save_result("table3", text)
+    # Shape check: the heavy benchmarks must dominate the light ones, as
+    # in the paper's ordering (mix is the heaviest; periodic/ragdoll/
+    # continuous are the light third).
+    inst = {name: run.total_instructions() for name, run in runs.items()}
+    light = max(inst["periodic"], inst["ragdoll"], inst["continuous"])
+    assert inst["mix"] == max(inst.values())
+    assert inst["mix"] > 2.5 * light
+    for heavy in ("breakable", "explosions", "highspeed", "deformable"):
+        assert inst[heavy] > light * 0.9
+
+
+def test_table4_scene_statistics(runs, benchmark, save_result):
+    text = run_once(benchmark, lambda: table4(runs))
+    save_result("table4", text)
+    stats = {name: run.table4_row() for name, run in runs.items()}
+    # Paper-shape checks that survive scaling:
+    # the high-object benchmarks have the most pairs ...
+    assert stats["mix"]["object_pairs"] > stats["ragdoll"]["object_pairs"]
+    # ... deformable and mix are the only cloth benchmarks ...
+    for name in PAPER_TABLE4:
+        has_cloth = PAPER_TABLE4[name]["cloth_vertices"] > 0
+        assert (stats[name]["cloth_vertices"] > 0) == has_cloth
+    # ... and only breakable/mix carry prefractured debris.
+    assert stats["breakable"]["prefractured"] > 0
+    assert stats["mix"]["prefractured"] > 0
+    assert stats["explosions"]["prefractured"] == 0

@@ -1,0 +1,51 @@
+"""Table 7, Figure 11, §8.2.2 — interconnect latency hiding."""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig11, offchip_filtering, table7
+from repro.profiling.report import PARALLEL_PHASES
+
+
+def test_table7_tasks_to_hide(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: table7(runs))
+    save_result("table7", text)
+    # Paper shapes: hiding an off-chip link needs (weakly) more parallel
+    # tasks than the on-chip mesh, and PCIe needs the most (or is
+    # impossible) for every design and kernel.
+    for design in data:
+        for phase in PARALLEL_PHASES:
+            on = data[design]["onchip"][phase]
+            htx = data[design]["htx"][phase]
+            pcie = data[design]["pcie"][phase]
+            assert on <= htx <= pcie
+        # On-chip hiding is always feasible.
+        assert all(
+            not math.isinf(data[design]["onchip"][p])
+            for p in PARALLEL_PHASES
+        )
+
+
+def test_fig11_available_tasks(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: fig11(runs))
+    save_result("fig11", text)
+    # Narrowphase availability tracks object-pair counts: the pair-heavy
+    # benchmarks expose the most FG tasks.
+    pairs = {n: d["narrowphase"] for n, d in data.items()}
+    assert pairs["mix"] > pairs["ragdoll"]
+    # Only the cloth benchmarks expose cloth tasks; the large drape
+    # dominates their availability.
+    assert data["deformable"]["cloth"] > 0
+    assert data["mix"]["cloth"] > 0
+    assert data["highspeed"]["cloth"] == 0
+
+
+def test_offchip_filtering(runs, benchmark, save_result):
+    data, text = run_once(benchmark, lambda: offchip_filtering(runs))
+    save_result("offchip", text)
+    # Paper §8.2.2: moving off-chip can only reduce the share of FG work
+    # whose communication is hidden; PCIe is the worst.
+    for phase in PARALLEL_PHASES:
+        assert data["htx"][phase] <= data["onchip"][phase] + 1e-9
+        assert data["pcie"][phase] <= data["htx"][phase] + 1e-9

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Cloth arena: the Deformable-benchmark feature set.
+
+A large 625-vertex drape (the paper's big-cloth size) is pinned over a
+ragdoll while small 25-vertex uniforms dress two more ragdolls; everything
+interacts through the world's cloth contact lists.
+"""
+
+from repro.cloth import Cloth
+from repro.engine import World
+from repro.geometry import Plane
+from repro.math3d import Vec3
+from repro.workloads import scenes
+
+
+def main():
+    world = World()
+    world.add_static_geom(Plane(Vec3(0, 1, 0), 0.0))
+
+    players = [
+        scenes.make_humanoid(world, Vec3(x, 0, 0)) for x in (-2.0, 0.0, 2.0)
+    ]
+
+    # Large drape over the middle player (25x25 = 625 vertices).
+    drape = Cloth(25, 25, 0.1, Vec3(-1.2, 2.6, 0.3), pin_top_row=True)
+    drape.ground_height = 0.0
+    world.add_cloth(drape)
+
+    # Small uniforms (5x5 = 25 vertices) on the outer players.
+    for player in (players[0], players[2]):
+        torso = player.bodies["torso"]
+        uniform = Cloth(
+            5, 5, 0.12,
+            torso.position + Vec3(-0.24, 0.25, 0.18),
+            pin_top_row=True,
+        )
+        uniform.ground_height = 0.0
+        world.add_cloth(uniform)
+
+    players[0].set_velocity(Vec3(1.5, 0, 0))  # walk into the drape
+
+    print("frame  drape-min-y  drape-contacts  cloth-projections")
+    for frame in range(40):
+        report = world.step_frame()
+        if frame % 5 == 0 or frame == 39:
+            min_y = float(drape.positions[:, 1].min())
+            print(
+                f"{frame:5d}  {min_y:11.3f}  {len(drape.contact_bodies):14d}"
+                f"  {int(report['cloth'].get('projections')):17d}"
+            )
+
+    assert float(drape.positions[:, 1].min()) >= -1e-6, "cloth fell through"
+    total_vertices = sum(c.num_vertices for c in world.cloths)
+    print(f"\ncloth objects: {len(world.cloths)}, vertices: {total_vertices}")
+    print("OK: drape settled over the scene without tunnelling.")
+
+
+if __name__ == "__main__":
+    main()
