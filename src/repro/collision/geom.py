@@ -1,0 +1,48 @@
+"""Geom: a collision shape placed in the world.
+
+A geom either rides on a rigid body (dynamic) or carries its own static
+transform. Per-geom material properties feed the contact solver:
+friction combines as the geometric mean, restitution as the max.
+"""
+
+from __future__ import annotations
+
+from ..math3d import Transform
+
+
+class Geom:
+    _next_uid = 0
+
+    def __init__(self, shape, body=None, transform: Transform = None,
+                 friction: float = 0.5, restitution: float = 0.0):
+        self.shape = shape
+        self.body = body
+        self.static_transform = (transform if transform is not None
+                                 else Transform())
+        self.friction = friction
+        self.restitution = restitution
+        self.uid = Geom._next_uid
+        Geom._next_uid += 1
+        self.index = self.uid  # densely reassigned when added to a World
+        self.collision_group = None  # geoms sharing a group never collide
+
+    def __repr__(self):
+        tag = "static" if self.body is None else f"body#{self.body.uid}"
+        return f"Geom({self.shape!r}, {tag})"
+
+    @property
+    def is_static(self) -> bool:
+        return self.body is None or self.body.is_static
+
+    @property
+    def enabled(self) -> bool:
+        return self.body.enabled if self.body is not None else True
+
+    @property
+    def transform(self) -> Transform:
+        if self.body is not None:
+            return self.body.transform
+        return self.static_transform
+
+    def aabb(self):
+        return self.shape.aabb(self.transform)

@@ -1,0 +1,125 @@
+"""Rigid body state: mass properties, pose, velocities, accumulators."""
+
+from __future__ import annotations
+
+from ..math3d import (
+    Mat3,
+    Quaternion,
+    Transform,
+    Vec3,
+    rotate_inertia,
+    shape_mass_inertia,
+)
+
+
+class Body:
+    _next_uid = 0
+
+    def __init__(self, position: Vec3 = None, orientation: Quaternion = None,
+                 mass: float = 1.0):
+        self.position = position if position is not None else Vec3()
+        self.orientation = (orientation if orientation is not None
+                            else Quaternion.identity())
+        self.linear_velocity = Vec3()
+        self.angular_velocity = Vec3()
+        self.force = Vec3()
+        self.torque = Vec3()
+        self.enabled = True
+        self.sleeping = False
+        self.sleep_timer = 0.0
+        self.gravity_scale = 1.0
+        # World-assigned dense index; uid is a global creation counter so
+        # bodies order deterministically even before attachment.
+        self.index = -1
+        self.uid = Body._next_uid
+        Body._next_uid += 1
+
+        self.set_mass(mass, Mat3.diagonal(0.4 * mass, 0.4 * mass,
+                                          0.4 * mass))
+        self._inv_inertia_world = None
+
+    def __repr__(self):
+        return f"Body(#{self.uid} at {self.position!r})"
+
+    # -- mass properties ------------------------------------------------
+    def set_mass(self, mass: float, inertia_body: Mat3):
+        self.mass = float(mass)
+        self.inertia_body = inertia_body
+        if mass <= 0.0:
+            self.inv_mass = 0.0
+            self.inv_inertia_body = Mat3.zero()
+        else:
+            self.inv_mass = 1.0 / mass
+            self.inv_inertia_body = inertia_body.inverse()
+        self._inv_inertia_world = None
+
+    def set_mass_from_shape(self, shape, density: float = 1000.0):
+        mass, inertia = shape_mass_inertia(shape, density)
+        self.set_mass(mass, inertia)
+        return self
+
+    @property
+    def is_static(self) -> bool:
+        return self.inv_mass == 0.0
+
+    # -- derived state --------------------------------------------------
+    @property
+    def transform(self) -> Transform:
+        return Transform(self.position, self.orientation)
+
+    def refresh_world_inertia(self):
+        """Recompute R * I^-1 * R^T; call once per step before solving."""
+        rot = self.orientation.to_mat3()
+        self._inv_inertia_world = rotate_inertia(self.inv_inertia_body, rot)
+        return self._inv_inertia_world
+
+    @property
+    def inv_inertia_world(self) -> Mat3:
+        if self._inv_inertia_world is None:
+            self.refresh_world_inertia()
+        return self._inv_inertia_world
+
+    def velocity_at_point(self, world_point: Vec3) -> Vec3:
+        r = world_point - self.position
+        return self.linear_velocity + self.angular_velocity.cross(r)
+
+    def kinetic_energy(self) -> float:
+        lin = 0.5 * self.mass * self.linear_velocity.length_squared()
+        w = self.angular_velocity
+        rot = self.orientation.to_mat3()
+        i_world = rotate_inertia(self.inertia_body, rot)
+        ang = 0.5 * w.dot(i_world * w)
+        return lin + ang
+
+    # -- accumulators ---------------------------------------------------
+    def apply_force(self, force: Vec3, at_point: Vec3 = None):
+        self.force = self.force + force
+        if at_point is not None:
+            self.torque = self.torque + (at_point - self.position).cross(
+                force)
+
+    def apply_torque(self, torque: Vec3):
+        self.torque = self.torque + torque
+
+    def apply_impulse(self, impulse: Vec3, at_point: Vec3 = None):
+        if self.inv_mass == 0.0:
+            return
+        self.linear_velocity = self.linear_velocity + impulse * self.inv_mass
+        if at_point is not None:
+            r = at_point - self.position
+            self.angular_velocity = self.angular_velocity + (
+                self.inv_inertia_world * r.cross(impulse))
+
+    def clear_accumulators(self):
+        self.force = Vec3()
+        self.torque = Vec3()
+
+    def wake(self):
+        self.sleeping = False
+        self.sleep_timer = 0.0
+
+    def is_finite(self) -> bool:
+        return (self.position.is_finite()
+                and self.orientation.is_finite()
+                and self.linear_velocity.is_finite()
+                and self.angular_velocity.is_finite())

@@ -1,0 +1,103 @@
+"""Island discovery: union-find over the constraint graph.
+
+Bodies connected (transitively) through contacts or joints must be
+solved together; disconnected groups are independent LCPs — the paper's
+Island Processing phase parallelizes across exactly these islands.
+Static bodies (and static geoms) never merge islands.
+"""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    __slots__ = ("parent", "rank", "merges")
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.rank = [0] * n
+        self.merges = 0
+
+    def find(self, i: int) -> int:
+        parent = self.parent
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:  # path compression
+            parent[i], i = root, parent[i]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.merges += 1
+        return True
+
+
+class Island:
+    __slots__ = ("bodies", "contact_joints", "joints")
+
+    def __init__(self):
+        self.bodies = []
+        self.contact_joints = []
+        self.joints = []
+
+    def constraint_count(self) -> int:
+        return len(self.contact_joints) + len(self.joints)
+
+
+def build_islands(bodies, contact_joints, joints):
+    """Partition dynamic bodies + constraints into islands.
+
+    ``bodies`` must have dense ``index`` fields (the world assigns them).
+    Constraints touching only static anchors still form a (single-body)
+    island through their dynamic endpoint. Returns islands ordered by
+    their lowest body index, so iteration order is deterministic.
+    """
+    n = len(bodies)
+    uf = UnionFind(n)
+
+    def endpoints(j):
+        a, b = j.connected_bodies()
+        ia = a.index if (a is not None and not a.is_static) else -1
+        ib = b.index if (b is not None and not b.is_static) else -1
+        return ia, ib
+
+    for joint_list in (contact_joints, joints):
+        for j in joint_list:
+            ia, ib = endpoints(j)
+            if ia >= 0 and ib >= 0:
+                uf.union(ia, ib)
+
+    islands_by_root = {}
+    for body in bodies:
+        if body.is_static or not body.enabled:
+            continue
+        root = uf.find(body.index)
+        island = islands_by_root.get(root)
+        if island is None:
+            island = islands_by_root[root] = Island()
+        island.bodies.append(body)
+
+    def attach(j, bucket_name):
+        ia, ib = endpoints(j)
+        anchor = ia if ia >= 0 else ib
+        if anchor < 0:
+            return
+        island = islands_by_root.get(uf.find(anchor))
+        if island is not None:
+            getattr(island, bucket_name).append(j)
+
+    for j in contact_joints:
+        attach(j, "contact_joints")
+    for j in joints:
+        attach(j, "joints")
+
+    ordered = sorted(islands_by_root.values(),
+                     key=lambda isl: isl.bodies[0].index)
+    return ordered, uf.merges

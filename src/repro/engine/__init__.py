@@ -1,0 +1,15 @@
+"""The engine facade: World (the 5-phase pipeline), explosions,
+prefracture, trajectory recording."""
+
+from .explosions import Explosion, PrefracturedBody
+from .recorder import TrajectoryRecorder, assert_deterministic
+from .world import World, WorldConfig
+
+__all__ = [
+    "World",
+    "WorldConfig",
+    "Explosion",
+    "PrefracturedBody",
+    "TrajectoryRecorder",
+    "assert_deterministic",
+]

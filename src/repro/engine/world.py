@@ -1,0 +1,365 @@
+"""The World: the five-phase per-step pipeline of the paper's Fig. 1.
+
+    Broadphase -> Narrowphase -> Island Creation -> Island Processing
+               -> Cloth
+
+Each ``step()`` advances one ``dt`` sub-step and accumulates operation
+counts into ``world.report``; ``step_frame()`` bundles the paper's
+30 FPS cadence (three 0.01 s sub-steps) into one fresh
+:class:`~repro.profiling.FrameReport`.
+"""
+
+from __future__ import annotations
+
+from ..collision import BROADPHASES, Geom, collide
+from ..dynamics import ContactJoint, build_islands, solve_island
+from ..geometry import Shape
+from ..math3d import Vec3
+from ..profiling import (
+    FrameReport,
+    task_cost_cloth,
+    task_cost_island,
+    task_cost_narrowphase,
+)
+from .explosions import Explosion, PrefracturedBody
+
+
+class WorldConfig:
+    """Tunables for the engine; defaults match the paper's setup."""
+
+    def __init__(self, gravity: Vec3 = None, dt: float = 0.01,
+                 substeps_per_frame: int = 3, solver_iterations: int = 20,
+                 erp: float = 0.2, warm_starting: bool = True,
+                 broadphase: str = "sap", auto_sleep: bool = False,
+                 sleep_linear_threshold: float = 0.05,
+                 sleep_angular_threshold: float = 0.08,
+                 sleep_time: float = 0.5,
+                 linear_damping: float = 0.02,
+                 angular_damping: float = 0.05,
+                 max_contacts_per_pair: int = 4,
+                 world_bounds: float = 500.0):
+        self.gravity = gravity if gravity is not None else Vec3(0, -9.81, 0)
+        self.dt = dt
+        self.substeps_per_frame = substeps_per_frame
+        self.solver_iterations = solver_iterations
+        self.erp = erp
+        self.warm_starting = warm_starting
+        self.broadphase = broadphase
+        self.auto_sleep = auto_sleep
+        self.sleep_linear_threshold = sleep_linear_threshold
+        self.sleep_angular_threshold = sleep_angular_threshold
+        self.sleep_time = sleep_time
+        self.linear_damping = linear_damping
+        self.angular_damping = angular_damping
+        self.max_contacts_per_pair = max_contacts_per_pair
+        self.world_bounds = world_bounds
+
+
+class World:
+    def __init__(self, config: WorldConfig = None):
+        self.config = config if config is not None else WorldConfig()
+        self.broadphase = BROADPHASES[self.config.broadphase]()
+        self.bodies = []
+        self.geoms = []
+        self.joints = []
+        self.cloths = []
+        self.explosions = []
+        self.prefractured = []
+        self.culled = 0  # bodies disabled by the kill-bounds cull
+        self.report = None
+        self.frame_index = 0
+        self.step_index = 0
+        self.time = 0.0
+        self._no_collide_pairs = set()  # frozenset body-uid pairs
+        self._impulse_cache = {}
+        self._contacted_bodies = set()  # uids touched last step
+
+    # -- construction ---------------------------------------------------
+    def add_body(self, body):
+        if body.index < 0 or body.index >= len(self.bodies) \
+                or self.bodies[body.index] is not body:
+            body.index = len(self.bodies)
+            self.bodies.append(body)
+        return body
+
+    def attach(self, body, shape: Shape, density: float = 1000.0,
+               friction: float = 0.5, restitution: float = 0.0) -> Geom:
+        """Add ``body`` (if new), give it mass from ``shape``, and
+        register the collision geom."""
+        self.add_body(body)
+        body.set_mass_from_shape(shape, density)
+        geom = Geom(shape, body=body, friction=friction,
+                    restitution=restitution)
+        geom.index = len(self.geoms)
+        self.geoms.append(geom)
+        return geom
+
+    def add_geom(self, geom: Geom) -> Geom:
+        if geom.body is not None:
+            self.add_body(geom.body)
+        geom.index = len(self.geoms)
+        self.geoms.append(geom)
+        return geom
+
+    def add_static_geom(self, shape_or_geom, friction: float = 0.8,
+                        restitution: float = 0.0) -> Geom:
+        if isinstance(shape_or_geom, Geom):
+            geom = shape_or_geom
+        else:
+            geom = Geom(shape_or_geom, body=None, friction=friction,
+                        restitution=restitution)
+        geom.index = len(self.geoms)
+        self.geoms.append(geom)
+        return geom
+
+    def add_joint(self, joint):
+        self.joints.append(joint)
+        a, b = joint.connected_bodies()
+        if a is not None and b is not None:
+            self._no_collide_pairs.add(frozenset((a.uid, b.uid)))
+        return joint
+
+    def add_cloth(self, cloth):
+        self.cloths.append(cloth)
+        return cloth
+
+    def explode(self, center: Vec3, radius: float, impulse: float,
+                duration_steps: int = 3) -> Explosion:
+        boom = Explosion(center, radius, impulse, duration_steps)
+        self.explosions.append(boom)
+        return boom
+
+    def add_prefractured(self, body, geom, debris,
+                         trigger_margin: float = 0.5) -> PrefracturedBody:
+        """Register a prefractured object; debris bodies/geoms must
+        already be attached (they get disabled until fracture)."""
+        pf = PrefracturedBody(self, body, geom, debris, trigger_margin)
+        self.prefractured.append(pf)
+        return pf
+
+    # -- queries --------------------------------------------------------
+    def dynamic_bodies(self):
+        return [b for b in self.bodies if not b.is_static and b.enabled]
+
+    def body_had_contact(self, body) -> bool:
+        return body.uid in self._contacted_bodies
+
+    def _pair_filtered(self, ga: Geom, gb: Geom) -> bool:
+        ba, bb = ga.body, gb.body
+        if ba is not None and ba is bb:
+            return True  # two geoms on the same body
+        if ba is not None and bb is not None:
+            if frozenset((ba.uid, bb.uid)) in self._no_collide_pairs:
+                return True
+        if (ga.collision_group is not None
+                and ga.collision_group == gb.collision_group):
+            return True
+        return False
+
+    # -- stepping -------------------------------------------------------
+    def step_frame(self) -> FrameReport:
+        """One rendered frame: fresh report + the configured sub-steps."""
+        self.report = FrameReport(self.frame_index)
+        for _ in range(self.config.substeps_per_frame):
+            self.step()
+        self.frame_index += 1
+        return self.report
+
+    def step(self):
+        """Advance one ``dt`` sub-step through the five-phase pipeline."""
+        cfg = self.config
+        if self.report is None:
+            self.report = FrameReport(self.frame_index)
+        report = self.report
+        report.steps += 1
+        dt = cfg.dt
+
+        # Pre-phase: explosions push bodies and trigger prefracture.
+        for boom in self.explosions:
+            if boom.active:
+                boom.apply(self)
+
+        # Phase 1: broadphase.
+        live_geoms = [g for g in self.geoms if g.enabled]
+        pairs = self.broadphase.pairs(live_geoms)
+        report.count(
+            "broadphase",
+            geoms=len(live_geoms),
+            pairs=len(pairs),
+            tests=getattr(self.broadphase, "tests", 0),
+            swaps=getattr(self.broadphase, "swaps", 0),
+        )
+
+        # Phase 2: narrowphase.
+        contacts = []
+        self._contacted_bodies = set()
+        for ga, gb in pairs:
+            if self._pair_filtered(ga, gb):
+                continue
+            found = collide(ga, gb)
+            if len(found) > cfg.max_contacts_per_pair:
+                found = sorted(found, key=lambda c: -c.depth)
+                found = found[:cfg.max_contacts_per_pair]
+            report.count("narrowphase", tests=1, contacts=len(found))
+            report.add_task("narrowphase", task_cost_narrowphase(len(found)))
+            if found:
+                for body in (ga.body, gb.body):
+                    if body is not None:
+                        self._contacted_bodies.add(body.uid)
+                contacts.extend(found)
+
+        # Phase 3: island creation.
+        contact_joints = [
+            ContactJoint(c) for c in contacts
+            if self._contact_is_dynamic(c)
+        ]
+        active_joints = [j for j in self.joints
+                         if j.enabled and not j.broken]
+        islands, merges = build_islands(self.bodies, contact_joints,
+                                        active_joints)
+        report.count(
+            "island_creation",
+            bodies=len(self.dynamic_bodies()),
+            unions=merges,
+            islands=len(islands),
+            constraints=len(contact_joints) + len(active_joints),
+        )
+
+        # Phase 4: island processing.
+        self._apply_forces(dt)
+        erp = cfg.erp
+        cache = self._impulse_cache
+        new_cache = {}
+        for island in islands:
+            if cfg.auto_sleep and self._island_asleep(island):
+                report.count("island_processing", skipped_islands=1)
+                continue
+            rows = []
+            for cj in island.contact_joints:
+                cj_rows = cj.begin_step(dt, erp)
+                if cfg.warm_starting:
+                    cached = cache.get(cj.cache_key)
+                    if cached is not None:
+                        cj.normal_row.warm_start(cached[0])
+                        for row, imp in zip(cj.tangent_rows, cached[1:]):
+                            row.warm_start(imp)
+                rows.extend(cj_rows)
+            for joint in island.joints:
+                rows.extend(joint.begin_step(dt, erp))
+            stats = solve_island(rows, cfg.solver_iterations)
+            for joint in island.joints:
+                joint.end_step(dt)
+            for cj in island.contact_joints:
+                new_cache[cj.cache_key] = (
+                    cj.normal_row.impulse,
+                ) + tuple(r.impulse for r in cj.tangent_rows)
+            self._integrate(island.bodies, dt)
+            report.count(
+                "island_processing",
+                rows=stats.rows,
+                row_updates=stats.row_updates,
+                integrations=len(island.bodies),
+            )
+            report.add_task("island_processing", task_cost_island(
+                stats.rows, stats.row_updates, len(island.bodies)))
+            if cfg.auto_sleep:
+                self._update_sleep(island, dt)
+        self._impulse_cache = new_cache
+
+        # Phase 5: cloth.
+        if self.cloths:
+            cloth_colliders = [
+                g for g in live_geoms
+                if g.shape.kind in ("sphere", "box")
+            ]
+            for cloth in self.cloths:
+                stats = cloth.step(dt, cfg.gravity, cloth_colliders)
+                report.count(
+                    "cloth",
+                    cloths=1,
+                    vertices=stats["vertices"],
+                    constraint_updates=stats["constraint_updates"],
+                    projections=stats["projections"],
+                    contacts=stats["contacts"],
+                )
+                report.add_task("cloth", task_cost_cloth(
+                    stats["vertices"], stats["constraint_updates"],
+                    stats["projections"]))
+        else:
+            report.count("cloth", cloths=0)
+
+        self.step_index += 1
+        self.time += dt
+
+    # -- internals ------------------------------------------------------
+    @staticmethod
+    def _contact_is_dynamic(contact) -> bool:
+        for geom in (contact.geom_a, contact.geom_b):
+            body = geom.body
+            if body is not None and not body.is_static and body.enabled:
+                return True
+        return False
+
+    def _apply_forces(self, dt: float):
+        g = self.config.gravity
+        lin_k = max(0.0, 1.0 - self.config.linear_damping * dt)
+        ang_k = max(0.0, 1.0 - self.config.angular_damping * dt)
+        for body in self.bodies:
+            if body.is_static or not body.enabled:
+                continue
+            body.refresh_world_inertia()
+            if body.sleeping:
+                body.clear_accumulators()
+                continue
+            body.linear_velocity = (
+                body.linear_velocity
+                + (g * body.gravity_scale + body.force * body.inv_mass) * dt
+            ) * lin_k
+            body.angular_velocity = (
+                body.angular_velocity
+                + (body.inv_inertia_world * body.torque) * dt
+            ) * ang_k
+            body.clear_accumulators()
+
+    def _integrate(self, bodies, dt: float):
+        bounds = self.config.world_bounds
+        for body in bodies:
+            if body.sleeping:
+                continue
+            body.position = body.position + body.linear_velocity * dt
+            body.orientation = body.orientation.integrated(
+                body.angular_velocity, dt)
+            body._inv_inertia_world = None
+            # Kill-bounds cull: stray projectiles and blasted debris
+            # that leave the arena stop simulating (and stop inflating
+            # broadphase extents) instead of travelling forever.
+            p = body.position
+            if (abs(p.x) > bounds or abs(p.y) > bounds
+                    or abs(p.z) > bounds):
+                body.enabled = False
+                self.culled += 1
+
+    def _island_asleep(self, island) -> bool:
+        return all(b.sleeping for b in island.bodies)
+
+    def _update_sleep(self, island, dt: float):
+        cfg = self.config
+        quiet = all(
+            (b.linear_velocity.length() < cfg.sleep_linear_threshold
+             and b.angular_velocity.length() < cfg.sleep_angular_threshold)
+            for b in island.bodies
+        )
+        if quiet:
+            for b in island.bodies:
+                b.sleep_timer += dt
+                if b.sleep_timer >= cfg.sleep_time:
+                    b.sleeping = True
+                    b.linear_velocity = Vec3()
+                    b.angular_velocity = Vec3()
+        else:
+            for b in island.bodies:
+                b.wake()
+
+    # -- diagnostics ----------------------------------------------------
+    def total_kinetic_energy(self) -> float:
+        return sum(b.kinetic_energy() for b in self.dynamic_bodies())

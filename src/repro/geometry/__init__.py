@@ -1,0 +1,7 @@
+"""Collision shapes and axis-aligned bounding boxes."""
+
+from .aabb import AABB
+from .shapes import Box, Capsule, Heightfield, Plane, Shape, Sphere
+
+__all__ = ["AABB", "Shape", "Sphere", "Box", "Capsule", "Plane",
+           "Heightfield"]

@@ -1,0 +1,71 @@
+"""Body-frame inertia tensors for the primitive shapes.
+
+All return (mass, Mat3 inertia-about-center) given a density, matching
+ODE's dMass* helpers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .mat3 import Mat3
+from .vec3 import Vec3
+
+
+def sphere_inertia(radius: float, density: float):
+    mass = density * (4.0 / 3.0) * math.pi * radius ** 3
+    i = 0.4 * mass * radius * radius
+    return mass, Mat3.diagonal(i, i, i)
+
+
+def box_inertia(half_extents: Vec3, density: float):
+    dx, dy, dz = (2 * half_extents.x, 2 * half_extents.y,
+                  2 * half_extents.z)
+    mass = density * dx * dy * dz
+    k = mass / 12.0
+    return mass, Mat3.diagonal(
+        k * (dy * dy + dz * dz),
+        k * (dx * dx + dz * dz),
+        k * (dx * dx + dy * dy),
+    )
+
+
+def capsule_inertia(radius: float, length: float, density: float):
+    """Capsule aligned with the local y axis; ``length`` is the
+    cylindrical section (total height = length + 2*radius)."""
+    r2 = radius * radius
+    cyl_mass = density * math.pi * r2 * length
+    cap_mass = density * (4.0 / 3.0) * math.pi * radius ** 3
+    mass = cyl_mass + cap_mass
+    # Cylinder about its center.
+    i_axial = 0.5 * cyl_mass * r2
+    i_trans = cyl_mass * (0.25 * r2 + length * length / 12.0)
+    # Hemispheres: sphere inertia + parallel-axis shift to ends.
+    i_sph = 0.4 * cap_mass * r2
+    h = 0.5 * length + 3.0 / 8.0 * radius  # hemisphere CoM offset
+    i_trans += i_sph + cap_mass * h * h
+    i_axial += i_sph
+    return mass, Mat3.diagonal(i_trans, i_axial, i_trans)
+
+
+def point_mass_inertia(mass: float, radius: float = 0.1):
+    """Fallback: treat as a solid sphere of the given radius."""
+    i = 0.4 * mass * radius * radius
+    return mass, Mat3.diagonal(i, i, i)
+
+
+def shape_mass_inertia(shape, density: float):
+    """Dispatch on shape kind (duck-typed to avoid circular imports)."""
+    kind = getattr(shape, "kind", None)
+    if kind == "sphere":
+        return sphere_inertia(shape.radius, density)
+    if kind == "box":
+        return box_inertia(shape.half_extents, density)
+    if kind == "capsule":
+        return capsule_inertia(shape.radius, shape.length, density)
+    raise TypeError(f"no inertia model for shape kind {kind!r}")
+
+
+def rotate_inertia(inertia: Mat3, rotation: Mat3) -> Mat3:
+    """World-frame inertia: R * I * R^T."""
+    return rotation * inertia * rotation.transpose()

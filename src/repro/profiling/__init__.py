@@ -1,0 +1,36 @@
+"""Workload instrumentation: frame reports, instruction-cost model,
+task-level parallelism analysis."""
+
+from .costmodel import (
+    INSTRUCTION_WEIGHTS,
+    phase_instructions,
+    task_cost_cloth,
+    task_cost_island,
+    task_cost_narrowphase,
+)
+from .report import (
+    PARALLEL_PHASES,
+    PHASES,
+    SERIAL_PHASES,
+    FrameReport,
+    PhaseCounters,
+    mean_report,
+)
+from .tasks import cg_speedup, phase_schedule_length, speedup_curve
+
+__all__ = [
+    "PHASES",
+    "PARALLEL_PHASES",
+    "SERIAL_PHASES",
+    "FrameReport",
+    "PhaseCounters",
+    "mean_report",
+    "INSTRUCTION_WEIGHTS",
+    "phase_instructions",
+    "task_cost_narrowphase",
+    "task_cost_island",
+    "task_cost_cloth",
+    "cg_speedup",
+    "phase_schedule_length",
+    "speedup_curve",
+]

@@ -1,0 +1,114 @@
+"""Per-frame, per-phase workload accounting.
+
+The engine counts the operations each of Fig. 1's five phases performs
+(pair tests, contacts, solver row updates, relaxed cloth constraints,
+...) into a :class:`FrameReport`. The architecture models consume these
+reports: counters feed the instruction-cost model, per-task cost lists
+feed the CG/FG parallelism analysis.
+"""
+
+from __future__ import annotations
+
+PHASES = (
+    "broadphase",
+    "narrowphase",
+    "island_creation",
+    "island_processing",
+    "cloth",
+)
+
+# Phases the paper parallelizes across fine-grain tasks (object pairs,
+# islands, cloth patches). Broadphase and Island Creation stay serial.
+PARALLEL_PHASES = ("narrowphase", "island_processing", "cloth")
+
+SERIAL_PHASES = tuple(p for p in PHASES if p not in PARALLEL_PHASES)
+
+
+class PhaseCounters(dict):
+    """Counter dict that reads absent keys as zero."""
+
+    def get(self, key, default=0.0):
+        return dict.get(self, key, default)
+
+    def add(self, key, amount=1.0):
+        self[key] = dict.get(self, key, 0.0) + amount
+
+    def merge(self, other):
+        for key, value in other.items():
+            self.add(key, value)
+
+    def scaled(self, factor: float) -> "PhaseCounters":
+        out = PhaseCounters()
+        for key, value in self.items():
+            out[key] = value * factor
+        return out
+
+
+class FrameReport:
+    """Counters + task-cost lists for one frame (or one sub-step)."""
+
+    def __init__(self, frame_index: int = 0):
+        self.frame_index = frame_index
+        self.phases = {phase: PhaseCounters() for phase in PHASES}
+        self.tasks = {phase: [] for phase in PARALLEL_PHASES}
+        self.steps = 0
+
+    def __getitem__(self, phase: str) -> PhaseCounters:
+        return self.phases[phase]
+
+    def __contains__(self, phase: str) -> bool:
+        return phase in self.phases
+
+    def count(self, phase: str, **amounts):
+        counters = self.phases[phase]
+        for key, value in amounts.items():
+            counters.add(key, value)
+
+    def add_task(self, phase: str, cost: float):
+        self.tasks[phase].append(float(cost))
+
+    def summary(self):
+        return {phase: dict(counters)
+                for phase, counters in self.phases.items()}
+
+    def merge(self, other: "FrameReport"):
+        for phase in PHASES:
+            self.phases[phase].merge(other.phases[phase])
+        for phase in PARALLEL_PHASES:
+            self.tasks[phase].extend(other.tasks[phase])
+        self.steps += max(1, other.steps)
+        return self
+
+    # -- instruction-cost view ------------------------------------------
+    def phase_instructions(self) -> dict:
+        from .costmodel import phase_instructions
+        return {phase: phase_instructions(phase, self.phases[phase])
+                for phase in PHASES}
+
+    def total_instructions(self) -> float:
+        return sum(self.phase_instructions().values())
+
+    def __repr__(self):
+        insts = self.total_instructions()
+        return (f"FrameReport(frame={self.frame_index},"
+                f" ~{insts / 1e6:.2f}M inst)")
+
+
+def mean_report(reports) -> FrameReport:
+    """Average several frame reports into one representative frame."""
+    reports = list(reports)
+    if not reports:
+        return FrameReport(0)
+    out = FrameReport(reports[-1].frame_index)
+    inv = 1.0 / len(reports)
+    for phase in PHASES:
+        merged = PhaseCounters()
+        for r in reports:
+            merged.merge(r.phases[phase])
+        out.phases[phase] = merged.scaled(inv)
+    # Task lists come from the last (warmed-up) frame: averaging task
+    # *costs* across frames would change the task count.
+    for phase in PARALLEL_PHASES:
+        out.tasks[phase] = list(reports[-1].tasks[phase])
+    out.steps = reports[-1].steps
+    return out

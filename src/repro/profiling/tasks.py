@@ -1,0 +1,51 @@
+"""Coarse-grain parallelism analysis over a frame's task structure.
+
+Reproduces the reasoning of the paper's Fig. 7(a): with ideal cores and
+free communication, the speedup of a frame is limited by its serial
+phases plus, per parallel phase, the longest single task (an island, an
+object pair, a cloth) vs the number of cores — a longest-processing-time
+schedule bound.
+"""
+
+from __future__ import annotations
+
+from .report import PARALLEL_PHASES, SERIAL_PHASES
+
+
+def phase_schedule_length(tasks, cores: int) -> float:
+    """Lower-bound makespan of scheduling ``tasks`` on ``cores``."""
+    if not tasks:
+        return 0.0
+    total = sum(tasks)
+    return max(total / cores, max(tasks))
+
+
+def cg_speedup(report, cores: int) -> float:
+    """Frame speedup on ``cores`` ideal CG cores (Amdahl over phases)."""
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    insts = report.phase_instructions()
+    serial_time = sum(insts[p] for p in SERIAL_PHASES)
+    one_core = serial_time + sum(insts[p] for p in PARALLEL_PHASES)
+    if one_core <= 0.0:
+        return 1.0
+    sched = serial_time
+    for phase in PARALLEL_PHASES:
+        tasks = report.tasks.get(phase, [])
+        if tasks:
+            # Normalize task costs so they sum to the phase's modeled
+            # instructions (tasks are modeled with the same weights but
+            # may not cover warm-start bookkeeping etc.).
+            task_total = sum(tasks)
+            scale = insts[phase] / task_total if task_total > 0 else 0.0
+            sched += phase_schedule_length(
+                [t * scale for t in tasks], cores)
+        else:
+            sched += insts[phase] / cores
+    if sched <= 0.0:
+        return 1.0
+    return one_core / sched
+
+
+def speedup_curve(report, core_counts=(1, 2, 4, 8, 16, 32)):
+    return {n: cg_speedup(report, n) for n in core_counts}

@@ -1,0 +1,24 @@
+"""Benchmarks, scene builders, run harness, and validation."""
+
+from . import scenes
+from .benchmarks import (
+    BENCHMARKS,
+    Benchmark,
+    BenchmarkRun,
+    get_benchmark,
+    run_all,
+    run_benchmark,
+)
+from .validation import ValidationReport, validate_world
+
+__all__ = [
+    "scenes",
+    "BENCHMARKS",
+    "Benchmark",
+    "BenchmarkRun",
+    "get_benchmark",
+    "run_benchmark",
+    "run_all",
+    "ValidationReport",
+    "validate_world",
+]

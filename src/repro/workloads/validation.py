@@ -1,0 +1,104 @@
+"""Numeric plausibility validation — the headless stand-in for the
+paper's visual verification of each benchmark.
+
+Checks every enabled body for non-finite state, escape from the world
+bounds, deep inter-penetration, and joint anchor drift; cloths for
+non-finite vertices. ``validate_world`` is part of each benchmark run's
+acceptance gate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..collision import collide
+
+
+class ValidationReport:
+    def __init__(self):
+        self.bodies_checked = 0
+        self.non_finite_bodies = 0
+        self.escaped_bodies = 0
+        self.max_penetration = 0.0
+        self.max_joint_drift = 0.0
+        self.non_finite_cloth_vertices = 0
+        self.notes = []
+
+    @property
+    def ok(self) -> bool:
+        return (self.non_finite_bodies == 0
+                and self.escaped_bodies == 0
+                and self.non_finite_cloth_vertices == 0)
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        return (
+            f"{status}: {self.bodies_checked} bodies,"
+            f" {self.non_finite_bodies} non-finite,"
+            f" {self.escaped_bodies} escaped,"
+            f" max penetration {self.max_penetration:.4f} m,"
+            f" max joint drift {self.max_joint_drift:.4f} m"
+        )
+
+    def __repr__(self):
+        return f"ValidationReport({self.summary()})"
+
+
+def validate_world(world, bounds: float = None,
+                   penetration_tolerance: float = 0.15,
+                   joint_tolerance: float = 0.08) -> ValidationReport:
+    report = ValidationReport()
+    if bounds is None:
+        bounds = world.config.world_bounds
+
+    for body in world.bodies:
+        if not body.enabled or body.is_static:
+            continue
+        report.bodies_checked += 1
+        if not body.is_finite():
+            report.non_finite_bodies += 1
+            report.notes.append(f"non-finite state on body #{body.uid}")
+            continue
+        p = body.position
+        if max(abs(p.x), abs(p.y), abs(p.z)) > bounds:
+            report.escaped_bodies += 1
+            report.notes.append(
+                f"body #{body.uid} escaped bounds at {p!r}")
+
+    # Penetration audit over current broadphase pairs.
+    live = [g for g in world.geoms if g.enabled]
+    for ga, gb in world.broadphase.pairs(live):
+        if world._pair_filtered(ga, gb):
+            continue
+        for contact in collide(ga, gb):
+            if math.isfinite(contact.depth):
+                report.max_penetration = max(report.max_penetration,
+                                             contact.depth)
+    if report.max_penetration > penetration_tolerance:
+        report.notes.append(
+            f"max penetration {report.max_penetration:.4f} m exceeds"
+            f" tolerance {penetration_tolerance} m")
+
+    # Joint drift: positional error of ball-type anchors.
+    for joint in world.joints:
+        if joint.broken or not joint.enabled:
+            continue
+        anchor_error = getattr(joint, "anchor_error", None)
+        if anchor_error is not None:
+            drift = anchor_error()
+            report.max_joint_drift = max(report.max_joint_drift, drift)
+    if report.max_joint_drift > joint_tolerance:
+        report.notes.append(
+            f"max joint drift {report.max_joint_drift:.4f} m exceeds"
+            f" tolerance {joint_tolerance} m")
+
+    for k, cloth in enumerate(world.cloths):
+        bad = int((~np.isfinite(cloth.positions)).sum())
+        if bad:
+            report.non_finite_cloth_vertices += bad
+            report.notes.append(
+                f"cloth {k} has {bad} non-finite vertex components")
+
+    return report

@@ -1,0 +1,95 @@
+"""Cloth: constraint convergence, pinning, collision projection."""
+
+import numpy as np
+
+from repro.cloth import Cloth
+from repro.math3d import Vec3
+
+GRAVITY = Vec3(0, -9.81, 0)
+
+
+class TestClothBasics:
+    def test_vertex_layout(self):
+        cloth = Cloth(5, 4, 0.1, Vec3(0, 2, 0))
+        assert cloth.positions.shape == (20, 3)
+        assert np.allclose(cloth.positions[0], [0, 2, 0])
+        # Row-major: vertex (i=1, j=0) sits one spacing along +x.
+        assert np.allclose(cloth.positions[1], [0.1, 2, 0])
+
+    def test_step_stats(self):
+        cloth = Cloth(25, 25, 0.1, Vec3(0, 5, 0), pin_top_row=True)
+        stats = cloth.step(0.01, GRAVITY)
+        assert stats["vertices"] == 625
+
+    def test_pinned_vertices_do_not_move(self):
+        cloth = Cloth(10, 10, 0.1, Vec3(0, 5, 0), pin_top_row=True)
+        pinned_before = cloth.positions[:10].copy()
+        for _ in range(50):
+            cloth.step(0.01, GRAVITY)
+        assert np.allclose(cloth.positions[:10], pinned_before)
+
+    def test_unpinned_cloth_falls(self):
+        cloth = Cloth(6, 6, 0.1, Vec3(0, 5, 0))
+        y0 = cloth.positions[:, 1].mean()
+        for _ in range(30):
+            cloth.step(0.01, GRAVITY)
+        assert cloth.positions[:, 1].mean() < y0 - 0.2
+
+
+class TestClothConvergence:
+    def test_constraints_converge_to_rest_length(self):
+        """With no external force, a uniformly stretched cloth relaxes
+        back to rest length (Jakobsen relaxation converges)."""
+        cloth = Cloth(10, 10, 0.1, Vec3(0, 5, 0))
+        cloth.positions *= 1.2  # 20% uniform stretch
+        cloth.prev_positions = cloth.positions.copy()  # zero velocity
+        assert cloth.max_stretch() > 0.15
+        for _ in range(200):
+            cloth.step(0.01, Vec3(0, 0, 0))
+        assert cloth.max_stretch() < 0.01
+
+    def test_hanging_stretch_bounded(self):
+        """Under gravity the worst constraint error stays bounded (the
+        averaged-Jacobi scheme equilibrates rather than creeping)."""
+        cloth = Cloth(12, 12, 0.1, Vec3(0, 5, 0), pin_top_row=True)
+        for _ in range(400):
+            cloth.step(0.01, GRAVITY)
+        assert cloth.max_stretch() < 0.15
+
+    def test_settles_to_quiescence(self):
+        cloth = Cloth(8, 8, 0.1, Vec3(0, 5, 0), pin_top_row=True)
+        for _ in range(500):
+            cloth.step(0.01, GRAVITY)
+        speed = np.abs(cloth.positions - cloth.prev_positions).max() / 0.01
+        assert speed < 0.2  # effectively at rest
+
+    def test_stays_finite_under_large_step(self):
+        cloth = Cloth(8, 8, 0.1, Vec3(0, 5, 0), pin_top_row=True)
+        for _ in range(100):
+            cloth.step(0.02, Vec3(0, -30.0, 0))
+        assert np.isfinite(cloth.positions).all()
+
+
+class TestClothCollision:
+    def test_ground_projection(self):
+        """Falling cloth must land on the floor, not pass through."""
+        cloth = Cloth(8, 8, 0.1, Vec3(0, 0.5, 0))
+        cloth.ground_height = 0.0
+        for _ in range(200):
+            cloth.step(0.01, GRAVITY)
+        assert cloth.positions[:, 1].min() > -1e-6
+
+    def test_sphere_projection(self):
+        """Cloth dropped onto a sphere drapes around it, no vertex
+        left inside."""
+        from repro.collision import Geom
+        from repro.geometry import Sphere
+        from repro.math3d import Transform
+
+        ball = Geom(Sphere(0.3), transform=Transform(Vec3(0.35, 0.0, 0.0)))
+        cloth = Cloth(8, 8, 0.1, Vec3(0, 0.8, 0))
+        for _ in range(150):
+            cloth.step(0.01, GRAVITY, colliders=[ball])
+        center = np.array([0.35, 0.0, 0.0])
+        dist = np.sqrt(((cloth.positions - center) ** 2).sum(axis=1))
+        assert dist.min() > 0.3 - 1e-6

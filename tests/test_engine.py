@@ -1,0 +1,143 @@
+"""World pipeline, frame reports, breakable joints, prefracture."""
+
+from repro.engine import World, WorldConfig
+from repro.dynamics import Body, FixedJoint
+from repro.geometry import Box, Plane, Sphere
+from repro.math3d import Vec3
+from repro.profiling import PARALLEL_PHASES, PHASES
+
+
+def _world_with_ground(**kwargs):
+    world = World(WorldConfig(**kwargs))
+    world.add_static_geom(Plane(Vec3(0, 1, 0), 0.0))
+    return world
+
+
+class TestWorldPipeline:
+    def test_phase_names(self):
+        assert PHASES == ("broadphase", "narrowphase", "island_creation",
+                          "island_processing", "cloth")
+        assert set(PARALLEL_PHASES) < set(PHASES)
+
+    def test_step_frame_reports_all_phases(self):
+        world = _world_with_ground()
+        body = Body(position=Vec3(0, 0.4, 0))
+        world.attach(body, Sphere(0.5), density=1000.0)
+        report = world.step_frame()
+        for phase in PHASES:
+            assert phase in report
+        assert report["broadphase"].get("pairs") >= 1
+        assert report["narrowphase"].get("contacts") >= 1
+        assert report["island_creation"].get("islands") >= 1
+
+    def test_missing_counter_defaults_to_zero(self):
+        world = _world_with_ground()
+        report = world.step_frame()  # empty world: nothing to count
+        assert report["broadphase"].get("pairs") == 0
+        assert report["cloth"].get("vertices") == 0
+
+    def test_substeps_per_frame(self):
+        cfg = WorldConfig()
+        assert cfg.dt == 0.01
+        assert cfg.substeps_per_frame == 3  # 30 FPS frame, paper cadence
+
+    def test_broadphase_selection(self):
+        for name in ("brute", "sap", "hash"):
+            world = World(WorldConfig(broadphase=name))
+            world.add_static_geom(Plane(Vec3(0, 1, 0), 0.0))
+            body = Body(position=Vec3(0, 0.4, 0))
+            world.attach(body, Sphere(0.5), density=1000.0)
+            world.step()
+            assert body.is_finite()
+
+    def test_no_collide_filter_for_jointed_bodies(self):
+        world = _world_with_ground()
+        a = Body(position=Vec3(0, 2, 0))
+        b = Body(position=Vec3(0.4, 2, 0))  # overlapping spheres
+        world.attach(a, Sphere(0.5), density=500.0)
+        world.attach(b, Sphere(0.5), density=500.0)
+        from repro.dynamics import BallJoint
+        world.add_joint(BallJoint(a, b, Vec3(0.2, 2, 0)))
+        report = world.step_frame()
+        # The jointed pair produces no contacts with each other; any
+        # contacts would be with the ground after falling.
+        assert report["narrowphase"].get("contacts") == 0
+
+
+class TestKillBounds:
+    def test_runaway_body_is_culled(self):
+        world = World(WorldConfig(world_bounds=50.0))
+        bullet = Body(position=Vec3(0, 10, 0))
+        bullet.gravity_scale = 0.0
+        bullet.linear_velocity = Vec3(200.0, 0, 0)
+        world.attach(bullet, Sphere(0.2), density=1000.0)
+        for _ in range(100):
+            world.step()
+        assert not bullet.enabled
+        assert world.culled == 1
+
+    def test_bodies_inside_bounds_untouched(self):
+        world = _world_with_ground(world_bounds=50.0)
+        body = Body(position=Vec3(0, 1, 0))
+        world.attach(body, Sphere(0.5), density=1000.0)
+        for _ in range(50):
+            world.step()
+        assert body.enabled
+        assert world.culled == 0
+
+
+class TestBreakableJoints:
+    def test_mortar_breaks_under_impact(self):
+        world = _world_with_ground()
+        base = Body(position=Vec3(0, 0.5, 0))
+        top = Body(position=Vec3(0, 1.5, 0))
+        world.attach(base, Box(Vec3(0.5, 0.5, 0.5)), density=500.0)
+        world.attach(top, Box(Vec3(0.5, 0.5, 0.5)), density=500.0)
+        bond = FixedJoint(base, top, break_threshold=10.0)  # weak mortar
+        world.add_joint(bond)
+        # Hammer blow.
+        hammer = Body(position=Vec3(0, 6.0, 0))
+        hammer.linear_velocity = Vec3(0, -20.0, 0)
+        world.attach(hammer, Sphere(0.4), density=4000.0)
+        for _ in range(120):
+            world.step()
+        assert bond.broken
+
+    def test_strong_bond_holds(self):
+        world = _world_with_ground()
+        base = Body(position=Vec3(0, 0.5, 0))
+        top = Body(position=Vec3(0, 1.5, 0))
+        world.attach(base, Box(Vec3(0.5, 0.5, 0.5)), density=500.0)
+        world.attach(top, Box(Vec3(0.5, 0.5, 0.5)), density=500.0)
+        bond = FixedJoint(base, top, break_threshold=1e9)
+        world.add_joint(bond)
+        for _ in range(60):
+            world.step()
+        assert not bond.broken
+        # Bond held: top box still sits on the base.
+        assert abs(top.position.y - 1.5) < 0.1
+
+
+class TestPrefracture:
+    def test_debris_disabled_until_shatter(self):
+        world = _world_with_ground()
+        brick = Body(position=Vec3(0, 2, 0))
+        brick_geom = world.attach(brick, Box(Vec3(0.3, 0.15, 0.15)),
+                                  density=500.0)
+        pieces = [Body(position=Vec3(dx, 0, 0))
+                  for dx in (-0.15, 0.15)]
+        piece_geoms = []
+        for piece in pieces:
+            piece.enabled = False
+            geom = world.attach(piece, Box(Vec3(0.15, 0.15, 0.15)),
+                                density=500.0)
+            piece_geoms.append(geom)
+        pf = world.add_prefractured(brick, brick_geom,
+                                    list(zip(pieces, piece_geoms)))
+        world.step()
+        assert all(not p.enabled for p in pieces)
+        pf.fracture()
+        assert not brick.enabled
+        assert all(p.enabled for p in pieces)
+        world.step()  # debris simulates without blowing up
+        assert all(p.is_finite() for p in pieces)
