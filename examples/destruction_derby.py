@@ -46,7 +46,7 @@ def main():
         if step % 15 == 0 or step == 149:
             debris = sum(
                 1
-                for pf in world.prefractured
+                for pf in world.prefracture_registry
                 for body, _ in pf.debris
                 if body.enabled
             )
@@ -56,7 +56,7 @@ def main():
                 f"  {broken:12d}  {len(world.dynamic_bodies()):10d}"
             )
 
-    fractured = sum(1 for pf in world.prefractured if pf.broken)
+    fractured = sum(1 for pf in world.prefracture_registry if pf.broken)
     broken_bonds = sum(1 for j in bonds if j.broken)
     print(f"\nprefractured bricks shattered: {fractured}/{len(wall_a)}")
     print(f"mortar bonds broken:           {broken_bonds}/{len(bonds)}")

@@ -9,6 +9,10 @@ The package splits into two halves mirroring the paper's methodology:
   instrumentation the architecture study consumes (``repro.profiling``);
 * the *architecture model* (``repro.arch``, ``repro.analysis``) — the
   cache/core/interconnect timing models, rebuilt in a follow-up PR.
+
+Cross-cutting: ``repro.resilience`` hardens long-running simulations —
+deterministic checkpoints, a per-step watchdog with rollback-and-degrade
+recovery, and the fault-injection harness that tests it.
 """
 
 __version__ = "1.0.0"

@@ -103,6 +103,21 @@ class Cloth:
     def pin(self, i: int, j: int):
         self.pinned[self._vid(i, j)] = True
 
+    # -- checkpointing --------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Vertex state as JSON-native data; ``tolist`` round-trips
+        float64 exactly, so restore is bit-identical."""
+        return {
+            "positions": self.positions.tolist(),
+            "prev_positions": self.prev_positions.tolist(),
+        }
+
+    def restore_state(self, state: dict):
+        self.positions = np.array(state["positions"], dtype=np.float64)
+        self.prev_positions = np.array(state["prev_positions"],
+                                       dtype=np.float64)
+        return self
+
     def max_stretch(self) -> float:
         """Worst constraint-length error as a fraction of rest length."""
         d = self.positions[self._cj] - self.positions[self._ci]

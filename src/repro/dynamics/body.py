@@ -123,3 +123,42 @@ class Body:
                 and self.orientation.is_finite()
                 and self.linear_velocity.is_finite()
                 and self.angular_velocity.is_finite())
+
+    # -- checkpointing --------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Full dynamic state as JSON-native data (see repro.resilience).
+
+        Mass properties are included so a restore heals state corrupted
+        mid-run (e.g. a fault-injected inertia tensor)."""
+        p, q = self.position, self.orientation
+        v, w = self.linear_velocity, self.angular_velocity
+        f, t = self.force, self.torque
+        return {
+            "uid": self.uid,
+            "position": [p.x, p.y, p.z],
+            "orientation": [q.w, q.x, q.y, q.z],
+            "linear_velocity": [v.x, v.y, v.z],
+            "angular_velocity": [w.x, w.y, w.z],
+            "force": [f.x, f.y, f.z],
+            "torque": [t.x, t.y, t.z],
+            "enabled": self.enabled,
+            "sleeping": self.sleeping,
+            "sleep_timer": self.sleep_timer,
+            "gravity_scale": self.gravity_scale,
+            "mass": self.mass,
+            "inertia_body": [row[:] for row in self.inertia_body.m],
+        }
+
+    def restore_state(self, state: dict):
+        self.position = Vec3(*state["position"])
+        self.orientation = Quaternion(*state["orientation"])
+        self.linear_velocity = Vec3(*state["linear_velocity"])
+        self.angular_velocity = Vec3(*state["angular_velocity"])
+        self.force = Vec3(*state["force"])
+        self.torque = Vec3(*state["torque"])
+        self.enabled = state["enabled"]
+        self.sleeping = state["sleeping"]
+        self.sleep_timer = state["sleep_timer"]
+        self.gravity_scale = state["gravity_scale"]
+        self.set_mass(state["mass"], Mat3(state["inertia_body"]))
+        return self

@@ -49,6 +49,23 @@ class Joint:
             total += row.impulse * row.impulse
         return math.sqrt(total) / dt
 
+    # -- checkpointing --------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-native dynamic state. ``impulses`` (the accumulated
+        impulses of the last solve) are recorded for forensics; rows are
+        rebuilt from scratch each ``begin_step`` so they need no
+        restoring."""
+        return {
+            "enabled": self.enabled,
+            "broken": self.broken,
+            "impulses": [row.impulse for row in self.rows],
+        }
+
+    def restore_state(self, state: dict):
+        self.enabled = state["enabled"]
+        self.broken = state["broken"]
+        return self
+
     def _anchor_rows(self, dt, erp, anchor_local_a, anchor_local_b):
         """Three rows pinning a local point of each body together."""
         a, b = self.body_a, self.body_b
@@ -206,6 +223,22 @@ class HingeJoint(Joint):
     def set_motor(self, target_velocity: float, max_force: float):
         self.motor_velocity = target_velocity
         self.motor_max_force = max_force
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["motor_velocity"] = self.motor_velocity
+        state["motor_max_force"] = self.motor_max_force
+        state["limit_lo"] = self.limit_lo
+        state["limit_hi"] = self.limit_hi
+        return state
+
+    def restore_state(self, state: dict):
+        super().restore_state(state)
+        self.motor_velocity = state["motor_velocity"]
+        self.motor_max_force = state["motor_max_force"]
+        self.limit_lo = state["limit_lo"]
+        self.limit_hi = state["limit_hi"]
+        return self
 
     def clear_motor(self):
         self.motor_velocity = None

@@ -105,18 +105,26 @@ class Row:
 
 
 class SolveStats:
-    __slots__ = ("rows", "iterations", "row_updates", "max_delta")
+    __slots__ = ("rows", "iterations", "row_updates", "max_delta",
+                 "residual")
 
     def __init__(self, rows: int, iterations: int, row_updates: int,
-                 max_delta: float):
+                 max_delta: float, residual: float = 0.0):
         self.rows = rows
         self.iterations = iterations
         self.row_updates = row_updates
         self.max_delta = max_delta
+        # Largest impulse change during the *final* iteration: a
+        # converged island drives this toward zero, a diverging one
+        # keeps it large. The step watchdog reads it as the PGS
+        # non-convergence signal.
+        self.residual = residual
 
     def __repr__(self):
         return (f"SolveStats(rows={self.rows}, iters={self.iterations},"
-                f" updates={self.row_updates}, max_delta={self.max_delta:.3g})")
+                f" updates={self.row_updates},"
+                f" max_delta={self.max_delta:.3g},"
+                f" residual={self.residual:.3g})")
 
 
 def solve_island(rows, iterations: int = 20) -> SolveStats:
@@ -128,12 +136,16 @@ def solve_island(rows, iterations: int = 20) -> SolveStats:
     """
     rows = list(rows)
     max_delta = 0.0
-    for _ in range(iterations):
+    residual = 0.0
+    last_iteration = iterations - 1
+    for it in range(iterations):
         for row in rows:
             d = row.solve_once()
+            if d < 0.0:
+                d = -d
             if d > max_delta:
                 max_delta = d
-            elif -d > max_delta:
-                max_delta = -d
+            if it == last_iteration and d > residual:
+                residual = d
     return SolveStats(len(rows), iterations, iterations * len(rows),
-                      max_delta)
+                      max_delta, residual)

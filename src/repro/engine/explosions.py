@@ -33,6 +33,24 @@ class Explosion:
         return (f"Explosion(at={self.center!r}, r={self.radius},"
                 f" J={self.impulse}, {state})")
 
+    # -- checkpointing --------------------------------------------------
+    def snapshot_state(self) -> dict:
+        c = self.center
+        return {
+            "center": [c.x, c.y, c.z],
+            "radius": self.radius,
+            "impulse": self.impulse,
+            "duration_steps": self.duration_steps,
+            "age": self.age,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Explosion":
+        boom = cls(Vec3(*state["center"]), state["radius"],
+                   state["impulse"], state["duration_steps"])
+        boom.age = state["age"]
+        return boom
+
     def apply(self, world) -> int:
         """Push every dynamic body in range; returns bodies affected."""
         if not self.active:
@@ -85,6 +103,16 @@ class PrefracturedBody:
     def __repr__(self):
         state = "broken" if self.broken else "whole"
         return f"PrefracturedBody(#{self.body.uid}, {state})"
+
+    # -- checkpointing --------------------------------------------------
+    def snapshot_state(self) -> dict:
+        # Debris poses/velocities live on the debris bodies themselves;
+        # only the trigger flag is prefracture-specific.
+        return {"body_uid": self.body.uid, "broken": self.broken}
+
+    def restore_state(self, state: dict):
+        self.broken = state["broken"]
+        return self
 
     def total_mass(self) -> float:
         return self.body.mass

@@ -31,21 +31,27 @@ class TrajectoryRecorder:
         self.frames.append(frame)
         return frame
 
-    def record(self, frames: int, driver=None) -> "TrajectoryRecorder":
+    def record(self, frames: int, driver=None,
+               stepper=None) -> "TrajectoryRecorder":
         """Simulate ``frames`` rendered frames, snapshotting each.
 
         ``driver`` (from a benchmark's ``build``) is called once per
         sub-step before stepping — cannons, throttles, explosion
-        schedules all live there.
+        schedules all live there. ``stepper``, when given, replaces the
+        driver+``world.step()`` pair per sub-step (it receives the
+        driver); pass a ``StepWatchdog.step`` to record a guarded run.
         """
         self.snapshot()  # initial state
         for _ in range(frames):
             from ..profiling import FrameReport
             self.world.report = FrameReport(self.world.frame_index)
             for _ in range(self.world.config.substeps_per_frame):
-                if driver is not None:
-                    driver()
-                self.world.step()
+                if stepper is not None:
+                    stepper(driver)
+                else:
+                    if driver is not None:
+                        driver()
+                    self.world.step()
             self.world.frame_index += 1
             self.snapshot()
         return self

@@ -65,7 +65,14 @@ class World:
         self.cloths = []
         self.explosions = []
         self.prefractured = []
+        # Every prefractured entry ever registered; ``prefractured``
+        # holds only the untriggered ones (spent entries are pruned from
+        # the per-step scan but stay here for checkpoint restore).
+        self._prefracture_registry = []
         self.culled = 0  # bodies disabled by the kill-bounds cull
+        # Stateful scene actors (cannons, ...) that must roll back with
+        # the world for checkpoint/restore to replay bit-identically.
+        self.actors = []
         self.report = None
         self.frame_index = 0
         self.step_index = 0
@@ -73,6 +80,12 @@ class World:
         self._no_collide_pairs = set()  # frozenset body-uid pairs
         self._impulse_cache = {}
         self._contacted_bodies = set()  # uids touched last step
+        # Per-step health signals read by repro.resilience.StepWatchdog.
+        self.last_max_penetration = 0.0
+        self.last_penetration_uids = ()
+        self.last_island_residuals = []  # [(residual, [body uids])]
+        self.last_solver_residual = 0.0
+        self.last_blast_bodies = 0  # bodies pushed by explosions this step
 
     # -- construction ---------------------------------------------------
     def add_body(self, body):
@@ -135,7 +148,20 @@ class World:
         already be attached (they get disabled until fracture)."""
         pf = PrefracturedBody(self, body, geom, debris, trigger_margin)
         self.prefractured.append(pf)
+        self._prefracture_registry.append(pf)
         return pf
+
+    @property
+    def prefracture_registry(self):
+        """Every prefractured object ever registered, broken or not —
+        ``prefractured`` holds only the live, not-yet-broken ones."""
+        return self._prefracture_registry
+
+    def register_actor(self, actor):
+        """Track a stateful scene actor (``snapshot_state`` /
+        ``restore_state``) so checkpoints include it."""
+        self.actors.append(actor)
+        return actor
 
     # -- queries --------------------------------------------------------
     def dynamic_bodies(self):
@@ -175,9 +201,20 @@ class World:
         dt = cfg.dt
 
         # Pre-phase: explosions push bodies and trigger prefracture.
-        for boom in self.explosions:
-            if boom.active:
-                boom.apply(self)
+        # Spent blasts and triggered prefracture entries are pruned so
+        # long runs don't scan an ever-growing list of dead events.
+        self.last_blast_bodies = 0
+        if self.explosions:
+            alive = []
+            for boom in self.explosions:
+                if boom.active:
+                    self.last_blast_bodies += boom.apply(self)
+                if boom.active:
+                    alive.append(boom)
+            self.explosions = alive
+        if self.prefractured:
+            self.prefractured = [pf for pf in self.prefractured
+                                 if not pf.broken]
 
         # Phase 1: broadphase.
         live_geoms = [g for g in self.geoms if g.enabled]
@@ -193,6 +230,8 @@ class World:
         # Phase 2: narrowphase.
         contacts = []
         self._contacted_bodies = set()
+        self.last_max_penetration = 0.0
+        self.last_penetration_uids = ()
         for ga, gb in pairs:
             if self._pair_filtered(ga, gb):
                 continue
@@ -206,6 +245,12 @@ class World:
                 for body in (ga.body, gb.body):
                     if body is not None:
                         self._contacted_bodies.add(body.uid)
+                for c in found:
+                    if c.depth > self.last_max_penetration:
+                        self.last_max_penetration = c.depth
+                        self.last_penetration_uids = tuple(
+                            g.body.uid for g in (ga, gb)
+                            if g.body is not None)
                 contacts.extend(found)
 
         # Phase 3: island creation.
@@ -213,8 +258,12 @@ class World:
             ContactJoint(c) for c in contacts
             if self._contact_is_dynamic(c)
         ]
+        # Joints lose their effect when either endpoint is disabled
+        # (kill-bounds cull, quarantine, prefracture): solving against a
+        # frozen body would yank the live one toward a corpse.
         active_joints = [j for j in self.joints
-                         if j.enabled and not j.broken]
+                         if j.enabled and not j.broken
+                         and self._joint_bodies_enabled(j)]
         islands, merges = build_islands(self.bodies, contact_joints,
                                         active_joints)
         report.count(
@@ -230,6 +279,8 @@ class World:
         erp = cfg.erp
         cache = self._impulse_cache
         new_cache = {}
+        self.last_island_residuals = []
+        self.last_solver_residual = 0.0
         for island in islands:
             if cfg.auto_sleep and self._island_asleep(island):
                 report.count("island_processing", skipped_islands=1)
@@ -247,6 +298,10 @@ class World:
             for joint in island.joints:
                 rows.extend(joint.begin_step(dt, erp))
             stats = solve_island(rows, cfg.solver_iterations)
+            self.last_island_residuals.append(
+                (stats.residual, [b.uid for b in island.bodies]))
+            if stats.residual > self.last_solver_residual:
+                self.last_solver_residual = stats.residual
             for joint in island.joints:
                 joint.end_step(dt)
             for cj in island.contact_joints:
@@ -292,6 +347,12 @@ class World:
         self.time += dt
 
     # -- internals ------------------------------------------------------
+    @staticmethod
+    def _joint_bodies_enabled(joint) -> bool:
+        a, b = joint.connected_bodies()
+        return ((a is None or a.enabled)
+                and (b is None or b.enabled))
+
     @staticmethod
     def _contact_is_dynamic(contact) -> bool:
         for geom in (contact.geom_a, contact.geom_b):

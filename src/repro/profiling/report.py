@@ -52,6 +52,11 @@ class FrameReport:
         self.phases = {phase: PhaseCounters() for phase in PHASES}
         self.tasks = {phase: [] for phase in PARALLEL_PHASES}
         self.steps = 0
+        # Watchdog incident log for this frame (a
+        # repro.resilience.HealthReport), or None when the frame ran
+        # unguarded / clean. Duck-typed to keep profiling independent
+        # of the resilience layer.
+        self.health = None
 
     def __getitem__(self, phase: str) -> PhaseCounters:
         return self.phases[phase]
@@ -77,6 +82,11 @@ class FrameReport:
         for phase in PARALLEL_PHASES:
             self.tasks[phase].extend(other.tasks[phase])
         self.steps += max(1, other.steps)
+        if other.health is not None:
+            if self.health is None:
+                self.health = other.health
+            else:
+                self.health.events.extend(other.health.events)
         return self
 
     # -- instruction-cost view ------------------------------------------

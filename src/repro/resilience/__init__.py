@@ -1,0 +1,33 @@
+"""Simulation resilience: checkpoint/restore, the step watchdog with
+rollback-and-degrade recovery, and deterministic fault injection."""
+
+from .checkpoint import SnapshotMismatchError, WorldSnapshot
+from .faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultSchedule,
+)
+from .guard import (
+    DEFAULT_LADDER,
+    HealthEvent,
+    HealthReport,
+    StepWatchdog,
+    Violation,
+    WatchdogConfig,
+)
+
+__all__ = [
+    "WorldSnapshot",
+    "SnapshotMismatchError",
+    "StepWatchdog",
+    "WatchdogConfig",
+    "HealthReport",
+    "HealthEvent",
+    "Violation",
+    "DEFAULT_LADDER",
+    "FaultSchedule",
+    "FaultInjector",
+    "Fault",
+    "FAULT_KINDS",
+]

@@ -1,0 +1,178 @@
+"""Deterministic world checkpoints.
+
+A :class:`WorldSnapshot` captures the complete dynamic state of a
+:class:`~repro.engine.World` — body poses/velocities/accumulators and
+mass properties, sleep state, joint enabled/broken flags (plus their
+last accumulated impulses, for forensics), the contact warm-start
+impulse cache, cloth vertex positions and previous positions, explosion
+timers, prefracture trigger flags, step/frame counters, and the state of
+registered scene actors (e.g. cannons). Restoring a snapshot and
+re-stepping replays the original run **bit-identically** — proven by the
+existing :class:`~repro.engine.recorder.TrajectoryRecorder` in the test
+suite — which makes snapshots the substrate for watchdog rollback,
+pause/resume, replay, and (later) distributed sharding.
+
+The snapshot payload is JSON-native from the moment of capture
+(``dict``/``list``/scalars only), so ``to_json``/``from_json`` is a pure
+serialization concern: Python's ``repr``-based float formatting
+round-trips every finite ``float64`` exactly.
+
+Bodies and geoms created *after* a capture (cannon shells, for example)
+are removed on restore, and the global uid counters are rewound so
+re-spawned objects receive the same uids as in the original run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..collision import Geom
+from ..dynamics import Body
+from ..engine.explosions import Explosion
+
+
+class SnapshotMismatchError(RuntimeError):
+    """Raised when a snapshot is restored into an incompatible world."""
+
+
+class WorldSnapshot:
+    VERSION = 1
+
+    def __init__(self, data: dict):
+        self.data = data
+
+    # -- capture --------------------------------------------------------
+    @classmethod
+    def capture(cls, world) -> "WorldSnapshot":
+        data = {
+            "version": cls.VERSION,
+            "frame_index": world.frame_index,
+            "step_index": world.step_index,
+            "time": world.time,
+            "culled": world.culled,
+            "body_next_uid": Body._next_uid,
+            "geom_next_uid": Geom._next_uid,
+            "n_geoms": len(world.geoms),
+            "n_joints": len(world.joints),
+            "bodies": [b.snapshot_state() for b in world.bodies],
+            "joints": [j.snapshot_state() for j in world.joints],
+            "no_collide_pairs": sorted(
+                sorted(pair) for pair in world._no_collide_pairs),
+            "impulse_cache": [
+                [list(key), list(value)]
+                for key, value in sorted(world._impulse_cache.items())
+            ],
+            "contacted_bodies": sorted(world._contacted_bodies),
+            "cloths": [c.snapshot_state() for c in world.cloths],
+            "explosions": [e.snapshot_state() for e in world.explosions],
+            "prefractured": [pf.snapshot_state()
+                             for pf in world._prefracture_registry],
+            "actors": [a.snapshot_state() for a in world.actors],
+        }
+        return cls(data)
+
+    # -- restore --------------------------------------------------------
+    def restore(self, world):
+        """Rewind ``world`` to the captured state, in place.
+
+        The world must be the one the snapshot was captured from (or a
+        structurally identical build of the same scene): restore matches
+        bodies, joints and cloths positionally and verifies body uids.
+        """
+        d = self.data
+        if len(world.bodies) < len(d["bodies"]) \
+                or len(world.geoms) < d["n_geoms"] \
+                or len(world.joints) < d["n_joints"] \
+                or len(world.cloths) != len(d["cloths"]) \
+                or len(world.actors) != len(d["actors"]) \
+                or len(world._prefracture_registry) != len(d["prefractured"]):
+            raise SnapshotMismatchError(
+                "world structure is smaller than the snapshot; was it "
+                "captured from this scene?")
+
+        # Objects spawned after the capture are removed, and the global
+        # uid counters rewound, so post-restore spawns replay exactly.
+        del world.bodies[len(d["bodies"]):]
+        del world.geoms[d["n_geoms"]:]
+        del world.joints[d["n_joints"]:]
+        Body._next_uid = d["body_next_uid"]
+        Geom._next_uid = d["geom_next_uid"]
+
+        for body, state in zip(world.bodies, d["bodies"]):
+            if body.uid != state["uid"]:
+                raise SnapshotMismatchError(
+                    f"body uid mismatch: #{body.uid} vs snapshot "
+                    f"#{state['uid']}")
+            body.restore_state(state)
+        for joint, state in zip(world.joints, d["joints"]):
+            joint.restore_state(state)
+        for cloth, state in zip(world.cloths, d["cloths"]):
+            cloth.restore_state(state)
+
+        world._no_collide_pairs = {
+            frozenset(pair) for pair in d["no_collide_pairs"]}
+        world._impulse_cache = {
+            tuple(key): tuple(value)
+            for key, value in d["impulse_cache"]}
+        world._contacted_bodies = set(d["contacted_bodies"])
+
+        world.explosions = [Explosion.from_state(s)
+                            for s in d["explosions"]]
+        by_uid = {pf.body.uid: pf for pf in world._prefracture_registry}
+        for state in d["prefractured"]:
+            pf = by_uid.get(state["body_uid"])
+            if pf is None:
+                raise SnapshotMismatchError(
+                    f"no prefractured entry for body "
+                    f"#{state['body_uid']}")
+            pf.restore_state(state)
+        world.prefractured = [pf for pf in world._prefracture_registry
+                              if not pf.broken]
+
+        for actor, state in zip(world.actors, d["actors"]):
+            actor.restore_state(state)
+
+        world.frame_index = d["frame_index"]
+        world.step_index = d["step_index"]
+        world.time = d["time"]
+        world.culled = d["culled"]
+        return world
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """A deep, independent copy of the JSON-native payload."""
+        return json.loads(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorldSnapshot":
+        version = data.get("version")
+        if version != cls.VERSION:
+            raise SnapshotMismatchError(
+                f"snapshot version {version!r} != {cls.VERSION}")
+        return cls(data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorldSnapshot":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str):
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "WorldSnapshot":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    # -- introspection --------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return isinstance(other, WorldSnapshot) and self.data == other.data
+
+    def __repr__(self):
+        d = self.data
+        return (f"WorldSnapshot(step={d['step_index']},"
+                f" bodies={len(d['bodies'])}, joints={d['n_joints']},"
+                f" cloths={len(d['cloths'])})")

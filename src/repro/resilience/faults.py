@@ -1,0 +1,163 @@
+"""Deterministic fault injection.
+
+The harness the resilience tests use to prove each watchdog recovery
+rung actually fires. A :class:`FaultSchedule` is a seeded, reproducible
+list of :class:`Fault` entries — *when* (absolute ``world.step_index``)
+and *what kind*; a :class:`FaultInjector` wired into a benchmark's
+driver applies each fault when its step comes up:
+
+* ``nan_position`` — poison a body's position with NaN,
+* ``huge_impulse`` — apply a 1e9 N·s impulse to a body,
+* ``corrupt_cache`` — overwrite a warm-start impulse-cache entry with
+  NaN (poisons the next solve through warm starting),
+* ``zero_inertia`` — zero a body's inertia tensor, i.e. its inverse
+  blows up to infinity (the next angular update goes non-finite).
+
+Targets are picked deterministically (seeded RNG over the enabled
+dynamic bodies, ordered by uid) and bound on first application, so a
+retry after a watchdog rollback re-injects a *persistent* fault into
+the same body. Transient faults (the default) fire exactly once —
+after the watchdog rolls the step back, the retry runs clean, modeling
+a soft error. Persistent faults re-fire on every retry of their step
+(the injector keys on ``world.step_index``, which rollback rewinds),
+modeling a hard fault that only quarantine or clamping can contain.
+
+The injector itself is deliberately *not* a world actor: rollback must
+not rewind the fired-flags, or a transient fault would replay forever.
+"""
+
+from __future__ import annotations
+
+import random
+
+FAULT_KINDS = (
+    "nan_position",
+    "huge_impulse",
+    "corrupt_cache",
+    "zero_inertia",
+)
+
+HUGE_IMPULSE = 1.0e9
+
+
+class Fault:
+    __slots__ = ("step", "kind", "persistent", "fired", "target_uid")
+
+    def __init__(self, step: int, kind: str, persistent: bool = False):
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; known: {FAULT_KINDS}")
+        self.step = step
+        self.kind = kind
+        self.persistent = persistent
+        self.fired = False
+        self.target_uid = None
+
+    def __repr__(self):
+        mode = "persistent" if self.persistent else "transient"
+        return (f"Fault(step={self.step}, {self.kind}, {mode},"
+                f" target={self.target_uid})")
+
+
+class FaultSchedule:
+    """An ordered, seeded list of faults."""
+
+    def __init__(self, faults):
+        self.faults = sorted(faults, key=lambda f: f.step)
+
+    @classmethod
+    def seeded(cls, seed: int, steps: int, count: int = 4,
+               kinds=FAULT_KINDS, first_step: int = 2,
+               persistent: bool = False) -> "FaultSchedule":
+        """``count`` faults spread over ``[first_step, steps)``, kinds
+        cycled deterministically, injection steps drawn from ``seed``."""
+        rng = random.Random(seed)
+        span = max(1, steps - first_step)
+        picks = sorted(rng.randrange(span) + first_step
+                       for _ in range(count))
+        return cls(Fault(step, kinds[i % len(kinds)], persistent)
+                   for i, step in enumerate(picks))
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self):
+        return len(self.faults)
+
+    def __repr__(self):
+        return f"FaultSchedule({self.faults!r})"
+
+
+class FaultInjector:
+    """Applies a schedule's faults to a world; call ``tick()`` once per
+    sub-step from the benchmark driver, before ``world.step()``."""
+
+    def __init__(self, world, schedule: FaultSchedule, seed: int = 0):
+        self.world = world
+        self.schedule = schedule
+        self.seed = seed
+        self.injected = []  # (step, kind, target_uid) log
+
+    def tick(self):
+        step = self.world.step_index
+        for fault in self.schedule:
+            if fault.step != step:
+                continue
+            if fault.fired and not fault.persistent:
+                continue
+            self._apply(fault)
+
+    # -- fault implementations ------------------------------------------
+    def _apply(self, fault: Fault):
+        body = self._target(fault)
+        if body is None:
+            return
+        fault.fired = True
+        getattr(self, "_inject_" + fault.kind)(body)
+        self.injected.append((fault.step, fault.kind, body.uid))
+
+    def _target(self, fault: Fault):
+        """The fault's bound target, else a seeded deterministic pick
+        among the enabled dynamic bodies (bound for future retries)."""
+        if fault.target_uid is not None:
+            for body in self.world.bodies:
+                if body.uid == fault.target_uid:
+                    return body
+            return None
+        candidates = sorted(
+            (b for b in self.world.bodies
+             if not b.is_static and b.enabled and b.is_finite()),
+            key=lambda b: b.uid)
+        if not candidates:
+            return None
+        rng = random.Random(f"{self.seed}/{fault.step}/{fault.kind}")
+        body = candidates[rng.randrange(len(candidates))]
+        fault.target_uid = body.uid
+        return body
+
+    def _inject_nan_position(self, body):
+        from ..math3d import Vec3
+        body.position = Vec3(float("nan"), float("nan"), float("nan"))
+
+    def _inject_huge_impulse(self, body):
+        from ..math3d import Vec3
+        body.wake()
+        body.apply_impulse(Vec3(HUGE_IMPULSE, 0.0, 0.0))
+
+    def _inject_corrupt_cache(self, body):
+        # Body-independent: poison the (deterministically) first
+        # warm-start cache entry. Falls back to a huge impulse when the
+        # cache is empty so the fault always has teeth.
+        cache = self.world._impulse_cache
+        if cache:
+            key = min(cache)
+            cache[key] = tuple(float("nan") for _ in cache[key])
+        else:
+            self._inject_huge_impulse(body)
+
+    def _inject_zero_inertia(self, body):
+        from ..math3d import Mat3
+        inf = float("inf")
+        body.inertia_body = Mat3.zero()
+        body.inv_inertia_body = Mat3.diagonal(inf, inf, inf)
+        body._inv_inertia_world = None

@@ -284,7 +284,7 @@ class BenchmarkRun:
     """A simulated benchmark: per-frame reports + the measured average."""
 
     def __init__(self, name: str, scale: float, seed: int, world,
-                 reports, measure_from: int):
+                 reports, measure_from: int, health=None, injector=None):
         self.name = name
         self.scale = scale
         self.seed = seed
@@ -292,6 +292,10 @@ class BenchmarkRun:
         self.reports = reports
         self.measure_from = measure_from
         self.measured = mean_report(reports[measure_from:])
+        # Watchdog incident log (repro.resilience.HealthReport) when the
+        # run was guarded, and the fault injector when faults were on.
+        self.health = health
+        self.injector = injector
 
     def instructions_per_frame(self) -> dict:
         per_phase = self.measured.phase_instructions()
@@ -317,24 +321,55 @@ class BenchmarkRun:
 
 
 def run_benchmark(name: str, scale: float = 1.0, frames: int = 5,
-                  measure_from: int = None, seed: int = 0) -> BenchmarkRun:
-    """Build and simulate a benchmark, collecting per-frame reports."""
+                  measure_from: int = None, seed: int = 0,
+                  watchdog: bool = False, watchdog_config=None,
+                  fault_schedule=None) -> BenchmarkRun:
+    """Build and simulate a benchmark, collecting per-frame reports.
+
+    ``watchdog=True`` guards every sub-step with a
+    :class:`repro.resilience.StepWatchdog` (rollback + degradation on
+    NaN/energy/penetration/solver violations); ``fault_schedule`` (a
+    :class:`repro.resilience.FaultSchedule`) injects deterministic
+    faults through the driver — run it with the watchdog on unless the
+    point is to watch the simulation burn.
+    """
     bench = get_benchmark(name)
     world, driver = bench.build(scale=scale, seed=seed)
     if measure_from is None:
         measure_from = max(0, frames - 2)
     measure_from = min(measure_from, max(0, frames - 1))
+
+    guard = injector = None
+    if watchdog or fault_schedule is not None:
+        from ..resilience import FaultInjector, StepWatchdog
+        if fault_schedule is not None:
+            injector = FaultInjector(world, fault_schedule, seed=seed)
+        if watchdog:
+            guard = StepWatchdog(world, watchdog_config)
+    if injector is not None:
+        scene_driver = driver
+
+        def driver():
+            if scene_driver is not None:
+                scene_driver()
+            injector.tick()
+
     reports = []
     for _ in range(frames):
         report = FrameReport(world.frame_index)
         world.report = report
         for _ in range(world.config.substeps_per_frame):
-            if driver is not None:
-                driver()
-            world.step()
+            if guard is not None:
+                guard.step(driver)
+            else:
+                if driver is not None:
+                    driver()
+                world.step()
         world.frame_index += 1
         reports.append(report)
-    return BenchmarkRun(name, scale, seed, world, reports, measure_from)
+    return BenchmarkRun(name, scale, seed, world, reports, measure_from,
+                        health=guard.health if guard else None,
+                        injector=injector)
 
 
 def run_all(scale: float = 1.0, frames: int = 5, measure_from: int = None,

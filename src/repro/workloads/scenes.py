@@ -318,6 +318,9 @@ class Cannon:
         self.shells = []
         self.fired = 0
         self.detonations = 0
+        # Cannons are stateful mid-run spawners: register with the
+        # world so checkpoints roll their state back too.
+        world.register_actor(self)
 
     def tick(self):
         """Call once per sub-step (this is the benchmark 'driver')."""
@@ -336,6 +339,25 @@ class Cannon:
         shell.gravity_scale = 0.3  # flat-ish trajectory
         self.shells.append(shell)
         self.fired += 1
+
+    # -- checkpointing --------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "kind": "cannon",
+            "steps": self.steps,
+            "fired": self.fired,
+            "detonations": self.detonations,
+            "shell_uids": [shell.uid for shell in self.shells],
+        }
+
+    def restore_state(self, state: dict):
+        self.steps = state["steps"]
+        self.fired = state["fired"]
+        self.detonations = state["detonations"]
+        by_uid = {b.uid: b for b in self.world.bodies}
+        self.shells = [by_uid[uid] for uid in state["shell_uids"]
+                       if uid in by_uid]
+        return self
 
     def _check_impacts(self):
         still_tracked = []

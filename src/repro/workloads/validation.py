@@ -21,16 +21,19 @@ class ValidationReport:
         self.bodies_checked = 0
         self.non_finite_bodies = 0
         self.escaped_bodies = 0
+        self.disabled_bodies = 0  # culled or watchdog-quarantined
         self.max_penetration = 0.0
         self.max_joint_drift = 0.0
         self.non_finite_cloth_vertices = 0
+        self.unrecovered_incidents = 0  # from an attached HealthReport
         self.notes = []
 
     @property
     def ok(self) -> bool:
         return (self.non_finite_bodies == 0
                 and self.escaped_bodies == 0
-                and self.non_finite_cloth_vertices == 0)
+                and self.non_finite_cloth_vertices == 0
+                and self.unrecovered_incidents == 0)
 
     def summary(self) -> str:
         status = "OK" if self.ok else "FAILED"
@@ -38,6 +41,7 @@ class ValidationReport:
             f"{status}: {self.bodies_checked} bodies,"
             f" {self.non_finite_bodies} non-finite,"
             f" {self.escaped_bodies} escaped,"
+            f" {self.disabled_bodies} disabled,"
             f" max penetration {self.max_penetration:.4f} m,"
             f" max joint drift {self.max_joint_drift:.4f} m"
         )
@@ -48,13 +52,27 @@ class ValidationReport:
 
 def validate_world(world, bounds: float = None,
                    penetration_tolerance: float = 0.15,
-                   joint_tolerance: float = 0.08) -> ValidationReport:
+                   joint_tolerance: float = 0.08,
+                   health=None) -> ValidationReport:
+    """``health`` (a ``repro.resilience.HealthReport``) folds a guarded
+    run's incident log into the verdict: unrecovered incidents fail."""
     report = ValidationReport()
     if bounds is None:
         bounds = world.config.world_bounds
 
+    # Debris authored for not-yet-triggered prefracture starts disabled
+    # by design; don't count it against the run.
+    dormant = set()
+    for pf in world.prefracture_registry:
+        if not pf.broken:
+            dormant.update(b.uid for b, _ in pf.debris)
+
     for body in world.bodies:
-        if not body.enabled or body.is_static:
+        if body.is_static:
+            continue
+        if not body.enabled:
+            if body.uid not in dormant:
+                report.disabled_bodies += 1
             continue
         report.bodies_checked += 1
         if not body.is_finite():
@@ -100,5 +118,10 @@ def validate_world(world, bounds: float = None,
             report.non_finite_cloth_vertices += bad
             report.notes.append(
                 f"cloth {k} has {bad} non-finite vertex components")
+
+    if health is not None:
+        report.unrecovered_incidents = health.unrecovered
+        if len(health):
+            report.notes.append(f"watchdog: {health.summary()}")
 
     return report
