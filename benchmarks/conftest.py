@@ -10,18 +10,6 @@ import os
 
 import pytest
 
-# The seed capture lost the cycle-level architecture model; the figure
-# and table harness can't run until it is restored. Skip the whole
-# directory rather than erroring at collection (most test modules
-# import repro.arch at module level).
-try:
-    import repro.arch  # noqa: F401
-    _HAVE_ARCH = True
-except ImportError:
-    _HAVE_ARCH = False
-
-collect_ignore_glob = [] if _HAVE_ARCH else ["test_*.py"]
-
 from repro.workloads import run_all
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
@@ -32,7 +20,6 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 @pytest.fixture(scope="session")
 def runs():
     """All eight benchmarks simulated once per session."""
-    pytest.importorskip("repro.arch")
     return run_all(
         scale=BENCH_SCALE,
         frames=BENCH_FRAMES,

@@ -4,8 +4,6 @@ These time the Python implementation itself (pytest-benchmark statistics),
 complementing the modeled-cycles experiments.
 """
 
-import pytest
-
 from repro.collision import SweepAndPrune, collide
 from repro.collision.geom import Geom
 from repro.cloth import Cloth
@@ -51,7 +49,7 @@ def test_bench_solver_iteration(benchmark):
     for i in range(10):
         b = Body(position=Vec3((i % 3) * 0.4, 0.4 + 0.45 * i, 0))
         w.attach(b, Sphere(0.3))
-    for _ in range(5):
+    for _ in range(30):
         w.step()
     pairs = w.broadphase.pairs(w.geoms)
     joints = [

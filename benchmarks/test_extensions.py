@@ -1,8 +1,6 @@
 """Extension experiments: Model 2, dispatch protocol, prefetch, way
 partitioning — the paper's §8.3, §7.3 and §6.2 future-work threads."""
 
-import math
-
 from conftest import run_once
 
 from repro.analysis.extensions import (

@@ -2,7 +2,7 @@
 
 from conftest import run_once
 
-from repro.analysis.experiments import L2_SWEEP, fig2a, fig2b
+from repro.analysis.experiments import fig2a, fig2b
 from repro.profiling.report import PHASES
 
 MB = 1024 * 1024

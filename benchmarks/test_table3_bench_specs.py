@@ -3,7 +3,6 @@
 from conftest import run_once
 
 from repro.analysis.tables import (
-    PAPER_TABLE3_MINST,
     PAPER_TABLE4,
     table3,
     table4,

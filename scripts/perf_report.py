@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Emit a machine-readable performance snapshot (BENCH_5.json).
+
+Times the engine's core kernels with ``time.perf_counter`` and records
+the per-phase modeled frame breakdown at smoke scale, so CI runs leave
+a comparable artifact:
+
+    PYTHONPATH=src python scripts/perf_report.py --out BENCH_5.json
+
+``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_FRAMES`` control the workload
+size exactly as they do for the benchmark suite.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+
+def _time(fn, *args, repeat=5):
+    """Best-of-N wall-clock seconds for one call."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def engine_microbench():
+    from repro.cloth import Cloth
+    from repro.collision import SweepAndPrune, collide
+    from repro.collision.geom import Geom
+    from repro.dynamics import Body, solve_island
+    from repro.dynamics.joints import ContactJoint
+    from repro.engine import World
+    from repro.geometry import Box, Plane, Sphere
+    from repro.math3d import Vec3
+    from repro.particles import ParticleSystem
+
+    out = {}
+
+    geoms = []
+    for i in range(200):
+        body = Body(position=Vec3((i % 20) * 0.9, (i // 20) * 0.9, 0.0))
+        body.set_mass_from_shape(Sphere(0.5), 1.0)
+        geoms.append(Geom(Sphere(0.5), body=body))
+    bp = SweepAndPrune()
+    out["broadphase_sap_200"] = _time(bp.pairs, geoms)
+
+    a = Body(position=Vec3(0, 0, 0))
+    ga = Geom(Box(Vec3(0.5, 0.5, 0.5)), body=a)
+    b = Body(position=Vec3(0.8, 0.2, 0.1))
+    gb = Geom(Box(Vec3(0.5, 0.5, 0.5)), body=b)
+    out["narrowphase_box_box"] = _time(collide, ga, gb)
+
+    w = World()
+    w.add_static_geom(Plane(Vec3(0, 1, 0)))
+    for i in range(10):
+        body = Body(position=Vec3((i % 3) * 0.4, 0.4 + 0.45 * i, 0))
+        w.attach(body, Sphere(0.3))
+    for _ in range(30):
+        w.step()
+    rows = []
+    for ga, gb in w.broadphase.pairs(w.geoms):
+        for c in collide(ga, gb):
+            rows.extend(ContactJoint(c).begin_step(0.01, 0.2))
+    out["solver_20_iters"] = _time(solve_island, rows, 20)
+
+    cloth = Cloth(25, 25, 0.1, Vec3(0, 3, 0), pin_top_row=True)
+    out["cloth_step_625v"] = _time(cloth.step, 0.01, Vec3(0, -9.81, 0))
+
+    ps = ParticleSystem(capacity=5000, ground_height=0.0)
+    ps.emit_burst(Vec3(0, 3, 0), 5000, speed=5.0, lifetime=100.0)
+    out["particles_step_5000"] = _time(ps.step, 0.01, Vec3(0, -9.81, 0))
+    return out
+
+
+def modeled_phases(scale, frames):
+    from repro.arch import L2Partitioning, ParallaxConfig, ParallaxMachine
+    from repro.profiling.report import PHASES
+    from repro.workloads import run_benchmark
+
+    t0 = time.perf_counter()
+    run = run_benchmark("mix", scale=scale, frames=frames,
+                        measure_from=max(0, frames - 2), seed=0)
+    sim_seconds = time.perf_counter() - t0
+
+    machine = ParallaxMachine(
+        ParallaxConfig(cg_cores=4, l2=L2Partitioning.paper_scheme()))
+    report = run.measured
+    phases = {p: machine.phase_seconds(report, p, threads=4)
+              for p in PHASES}
+    return {
+        "benchmark": "mix",
+        "scale": scale,
+        "frames": frames,
+        "wall_seconds": sim_seconds,
+        "minst_per_frame": run.total_instructions() / 1e6,
+        "modeled_phase_seconds": phases,
+        "modeled_frame_seconds": machine.frame_seconds(report, threads=4),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_5.json")
+    parser.add_argument("--scale", type=float,
+                        default=float(os.environ.get(
+                            "REPRO_BENCH_SCALE", "0.03")))
+    parser.add_argument("--frames", type=int,
+                        default=int(os.environ.get(
+                            "REPRO_BENCH_FRAMES", "2")))
+    args = parser.parse_args(argv)
+
+    report = {
+        "schema": "repro-perf-report/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "engine_microbench_seconds": engine_microbench(),
+        "modeled": modeled_phases(args.scale, args.frames),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Regenerate every figure/table in ``results/`` from one command.
+
+    PYTHONPATH=src python -m repro.analysis --scale 0.12 --out results
+
+Simulates the eight benchmarks once, then runs every experiment driver
+against the recorded reports, writing one ``<name>.txt`` per figure.
+``--experiments`` restricts the set (comma-separated names).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from ..workloads import run_all
+from . import calibrate, extensions, tables
+from . import experiments as exp
+
+# name -> callable(runs) returning text or (data, text); None-arg
+# drivers are wrapped so everything takes the runs dict.
+EXPERIMENTS = {
+    "table3": tables.table3,
+    "table4": tables.table4,
+    "fig2a": exp.fig2a,
+    "fig2b": exp.fig2b,
+    "fig3a": exp.fig3a,
+    "fig3b": exp.fig3b,
+    "fig4a": exp.fig4a,
+    "fig4b": exp.fig4b,
+    "fig5a": exp.fig5a,
+    "fig5b": exp.fig5b,
+    "fig6a": exp.fig6a,
+    "fig6b": exp.fig6b,
+    "fig7a": exp.fig7a,
+    "fig7b": exp.fig7b,
+    "fig9a": exp.fig9a,
+    "fig9b": exp.fig9b,
+    "fig10a": exp.fig10a,
+    "fig10b": exp.fig10b,
+    "table7": exp.table7,
+    "fig11": exp.fig11,
+    "offchip": exp.offchip_filtering,
+    "area": lambda runs: exp.area_table(),
+    "kernel_footprints": lambda runs: exp.kernel_footprints(),
+    "model2": extensions.model2_feasibility,
+    "protocol": extensions.protocol_overhead,
+    "prefetch": extensions.prefetch_study,
+    "waypart": extensions.waypart_validation,
+    "energy": extensions.energy_comparison,
+    "noc": lambda runs: extensions.noc_sensitivity(),
+    "simd": lambda runs: extensions.simd_ablation(),
+    "calibration": calibrate.calibration,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--scale", type=float,
+                        default=float(os.environ.get(
+                            "REPRO_BENCH_SCALE", "0.12")))
+    parser.add_argument("--frames", type=int,
+                        default=int(os.environ.get(
+                            "REPRO_BENCH_FRAMES", "3")))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--experiments",
+        help="comma-separated subset (default: all)")
+    args = parser.parse_args(argv)
+
+    wanted = list(EXPERIMENTS)
+    if args.experiments:
+        wanted = [name.strip()
+                  for name in args.experiments.split(",") if name.strip()]
+        unknown = [n for n in wanted if n not in EXPERIMENTS]
+        if unknown:
+            parser.error(f"unknown experiments: {', '.join(unknown)}; "
+                         f"choose from {', '.join(EXPERIMENTS)}")
+
+    print(f"# running 8 benchmarks at scale {args.scale:g} ...",
+          flush=True)
+    t0 = time.perf_counter()
+    runs = run_all(scale=args.scale, frames=args.frames,
+                   measure_from=max(0, args.frames - 2),
+                   seed=args.seed)
+    print(f"# benchmarks done in {time.perf_counter() - t0:.1f}s",
+          flush=True)
+
+    os.makedirs(args.out, exist_ok=True)
+    written = 0
+    for name in wanted:
+        t0 = time.perf_counter()
+        result = EXPERIMENTS[name](runs)
+        text = result[1] if isinstance(result, tuple) else result
+        path = os.path.join(args.out, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        written += 1
+        print(f"# {name} in {time.perf_counter() - t0:.1f}s",
+              flush=True)
+    print(f"# wrote {written} files to {args.out}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Calibration of the mechanistic cost model against Table 3.
+
+The engine's operation counts are exact but the instructions-per-
+operation weights are modeled, and the benchmarks run at reduced
+scale. A power law ``paper = a * measured^b`` fitted in log-log space
+over the eight benchmarks absorbs both effects and lets small-scale
+runs predict paper-scale instruction counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .tables import PAPER_TABLE3_MINST, format_table
+
+__all__ = ["power_law_fit", "calibration"]
+
+
+def power_law_fit(xs, ys):
+    """Least-squares fit of ``y = a * x^b`` in log space."""
+    pts = [(math.log(x), math.log(y))
+           for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pts) < 2:
+        return (ys[0] / xs[0] if xs and xs[0] > 0 else 1.0), 1.0
+    n = len(pts)
+    sx = sum(p[0] for p in pts)
+    sy = sum(p[1] for p in pts)
+    sxx = sum(p[0] * p[0] for p in pts)
+    sxy = sum(p[0] * p[1] for p in pts)
+    denom = n * sxx - sx * sx
+    if abs(denom) < 1e-12:
+        return math.exp(sy / n - sx / n), 1.0
+    b = (n * sxy - sx * sy) / denom
+    a = math.exp((sy - b * sx) / n)
+    return a, b
+
+
+def calibration(runs):
+    """Fit measured Minst/frame to the paper's Table 3 counts."""
+    names = [n for n in runs if n in PAPER_TABLE3_MINST]
+    xs = [runs[n].total_instructions() / 1e6 for n in names]
+    ys = [float(PAPER_TABLE3_MINST[n]) for n in names]
+    a, b = power_law_fit(xs, ys)
+    data = {"a": a, "b": b, "benchmarks": {}}
+    rows = []
+    for name, x, y in zip(names, xs, ys):
+        predicted = a * (x ** b)
+        ratio = predicted / y if y else float("inf")
+        data["benchmarks"][name] = {
+            "measured_minst": x,
+            "paper_minst": y,
+            "predicted_minst": predicted,
+            "ratio": ratio,
+        }
+        rows.append([name, f"{x:.1f}", f"{y:.0f}",
+                     f"{predicted:.0f}", f"{ratio:.2f}"])
+    rows.append(["fit", "", "", f"a={a:.2f}", f"b={b:.2f}"])
+    text = format_table(
+        ["benchmark", "measured Minst", "paper Minst", "predicted",
+         "ratio"],
+        rows,
+        title="Cost-model calibration (paper = a * measured^b)")
+    return data, text

@@ -1,0 +1,202 @@
+"""Trace-driven cache models: exact set-associative LRU simulation and
+one-pass Mattson stack-distance profiling.
+
+Two complementary tools:
+
+* :class:`CacheSim` replays a block-address trace through a real
+  set-associative LRU array (optionally with a next-N-line prefetcher).
+  Exact, but one run per configuration.
+* :class:`StackDistanceProfile` computes LRU stack distances in one
+  pass (Fenwick-tree Mattson algorithm), labelled per phase. Miss
+  counts for *every* capacity fall out of the same histogram, and they
+  are monotone in capacity by construction — which is what makes the
+  L2 sweep figures well-behaved.
+
+Both consume the ``TouchGroup`` traces recorded by the engine
+(:mod:`repro.profiling.memtrace`). Repeat groups (a solver sweeping an
+island's rows 20 times) are handled analytically: after the first
+sweep, every subsequent sweep of an F-block footprint re-references at
+stack distance ~F, so the remaining ``(repeat-1) * F`` accesses go
+straight into the histogram without being replayed.
+"""
+
+from __future__ import annotations
+
+from ..profiling import memtrace
+
+BLOCK = 64
+
+
+class _Fenwick:
+    """Prefix-sum tree over access timestamps."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int):
+        i += 1
+        while i <= self.n:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        # sum of [0, i]
+        i += 1
+        total = 0
+        while i > 0:
+            total += self.tree[i]
+            i -= i & (-i)
+        return total
+
+
+class StackDistanceProfile:
+    """Per-label LRU stack-distance histogram of a touch trace."""
+
+    def __init__(self):
+        # label -> {distance: count}; distance in 64B lines.
+        self.histograms = {}
+        self.cold = {}
+        self.accesses = {}
+        self._finalized = None
+
+    # -- building -------------------------------------------------------
+    @classmethod
+    def from_report(cls, report, phases=None, label_by_phase=True):
+        """Profile the pipeline-ordered trace of a FrameReport."""
+        groups = [
+            (phase if label_by_phase else "all", group)
+            for phase, group in memtrace.step_groups(report, phases)
+        ]
+        return cls.from_groups(groups)
+
+    @classmethod
+    def from_groups(cls, labelled_groups):
+        self = cls()
+        sweeps = []  # (label, blocks, extra_repeats)
+        total = 0
+        for label, group in labelled_groups:
+            blocks = memtrace.group_blocks(group)
+            if not blocks:
+                continue
+            sweeps.append((label, blocks, group.repeat - 1))
+            total += len(blocks)
+
+        bit = _Fenwick(total)
+        last_time = {}
+        t = 0
+        for label, blocks, extra in sweeps:
+            hist = self.histograms.setdefault(label, {})
+            for block in blocks:
+                prev = last_time.get(block)
+                if prev is None:
+                    self.cold[label] = self.cold.get(label, 0) + 1
+                else:
+                    d = bit.prefix(t - 1) - bit.prefix(prev)
+                    hist[d] = hist.get(d, 0) + 1
+                    bit.add(prev, -1)
+                bit.add(t, 1)
+                last_time[block] = t
+                t += 1
+            self.accesses[label] = (self.accesses.get(label, 0)
+                                    + len(blocks) * (extra + 1))
+            if extra > 0:
+                footprint = len(set(blocks))
+                hist[footprint] = (hist.get(footprint, 0)
+                                   + extra * len(blocks))
+        return self
+
+    # -- queries --------------------------------------------------------
+    def _finalize(self):
+        if self._finalized is None:
+            self._finalized = {
+                label: sorted(hist.items())
+                for label, hist in self.histograms.items()
+            }
+        return self._finalized
+
+    def labels(self):
+        keys = set(self.histograms) | set(self.cold)
+        return sorted(keys)
+
+    def misses(self, capacity_bytes: float, labels=None) -> float:
+        """Accesses (by the given labels) that miss in a fully
+        associative LRU cache of ``capacity_bytes``."""
+        lines = max(1, int(capacity_bytes) // BLOCK)
+        wanted = self.labels() if labels is None else labels
+        total = 0
+        fin = self._finalize()
+        for label in wanted:
+            total += self.cold.get(label, 0)
+            for dist, count in fin.get(label, ()):
+                if dist >= lines:
+                    total += count
+        return float(total)
+
+    def total_accesses(self, labels=None) -> float:
+        wanted = self.labels() if labels is None else labels
+        return float(sum(self.accesses.get(lb, 0) for lb in wanted))
+
+
+class CacheSim:
+    """Exact set-associative LRU cache, optionally prefetching."""
+
+    def __init__(self, capacity_bytes: int, ways: int = 8,
+                 line: int = BLOCK, prefetch_depth: int = 0):
+        self.line = line
+        self.ways = ways
+        self.sets = max(1, int(capacity_bytes) // (ways * line))
+        # Each set: list of block ids, most-recent last.
+        self._sets = [[] for _ in range(self.sets)]
+        self.prefetch_depth = prefetch_depth
+        self._prefetched = set()
+        self.hits = 0
+        self.misses = 0
+        self.prefetch_hits = 0
+        self.per_label = {}
+
+    def _touch(self, block: int, insert_only: bool = False) -> bool:
+        s = self._sets[block % self.sets]
+        try:
+            s.remove(block)
+            hit = True
+        except ValueError:
+            hit = False
+        if hit or not insert_only or len(s) < self.ways:
+            s.append(block)
+            if len(s) > self.ways:
+                evicted = s.pop(0)
+                self._prefetched.discard(evicted)
+        return hit
+
+    def access(self, block: int, label=None) -> bool:
+        hit = self._touch(block)
+        if hit and block in self._prefetched:
+            self._prefetched.discard(block)
+            self.prefetch_hits += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            if self.prefetch_depth:
+                for nxt in range(block + 1,
+                                 block + 1 + self.prefetch_depth):
+                    if not self._touch(nxt):
+                        self._prefetched.add(nxt)
+        if label is not None:
+            stats = self.per_label.setdefault(label, [0, 0])
+            stats[0 if hit else 1] += 1
+        return hit
+
+    def run(self, blocks, label=None):
+        for block in blocks:
+            self.access(block, label)
+        return self
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        n = self.accesses
+        return self.misses / n if n else 0.0

@@ -1,0 +1,63 @@
+"""Energy estimators for the FG-core design points.
+
+Simple activity-based model: dynamic energy is nJ/instruction scaled
+by each design's issue machinery (wide OoO desktop cores pay for
+wakeup/select and deep speculation; narrow in-order shader cores pay
+almost nothing beyond the datapath), plus leakage proportional to pool
+area over the frame time.
+"""
+
+from __future__ import annotations
+
+from .area import fg_pool_area
+
+__all__ = [
+    "DYNAMIC_NJ_PER_INST",
+    "LEAKAGE_W_PER_MM2",
+    "dynamic_joules",
+    "leakage_joules",
+    "frame_energy",
+    "edp",
+]
+
+DYNAMIC_NJ_PER_INST = {
+    "desktop": 0.95,
+    "console": 0.53,
+    "shader": 0.36,
+    # Idealized structures are not energy-free; cost as desktop.
+    "limit": 0.95,
+}
+
+LEAKAGE_W_PER_MM2 = {
+    "desktop": 0.075,
+    "console": 0.060,
+    "shader": 0.028,
+    "limit": 0.075,
+}
+
+
+def dynamic_joules(design: str, instructions: float) -> float:
+    return DYNAMIC_NJ_PER_INST[design] * 1e-9 * instructions
+
+
+def leakage_joules(design: str, cores: int, seconds: float) -> float:
+    area = fg_pool_area(design, cores)
+    return LEAKAGE_W_PER_MM2[design] * area * seconds
+
+
+def frame_energy(design: str, cores: int, instructions: float,
+                 frame_seconds: float) -> dict:
+    dyn = dynamic_joules(design, instructions)
+    leak = leakage_joules(design, cores, frame_seconds)
+    return {
+        "dynamic_j": dyn,
+        "leakage_j": leak,
+        "total_j": dyn + leak,
+    }
+
+
+def edp(design: str, cores: int, instructions: float,
+        frame_seconds: float) -> float:
+    """Energy-delay product for one frame (J * s)."""
+    e = frame_energy(design, cores, instructions, frame_seconds)
+    return e["total_j"] * frame_seconds

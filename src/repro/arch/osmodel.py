@@ -1,0 +1,54 @@
+"""OS / threading overhead model (Fig 6b).
+
+Running the parallel phases on OS threads costs two ways: the kernel's
+scheduling and synchronization instructions, and — the dominant effect
+— each thread's working set contending for its slice of the shared L2.
+Thread working sets grow with thread count (more per-thread buffers,
+more partially-shared read sets), so at eight threads the per-thread
+footprint no longer fits its L2 slice and every parallel sweep streams
+it back in.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "thread_footprint_bytes",
+    "kernel_overhead_misses",
+    "sync_instructions",
+]
+
+BLOCK = 64
+SWEEPS_PER_FRAME = 8  # parallel-region entries per frame
+
+# Measured-style per-thread working sets: modest until the runtime
+# switches to wide per-thread buffering at high thread counts.
+_FOOTPRINT_SMALL = 850 * 1024       # <= 4 threads
+_FOOTPRINT_LARGE = 5 * 1024 * 1024  # 8+ threads
+
+
+def thread_footprint_bytes(threads: int) -> float:
+    return _FOOTPRINT_LARGE if threads > 4 else _FOOTPRINT_SMALL
+
+
+def kernel_overhead_misses(threads: int, l2_bytes: float) -> float:
+    """Extra L2 misses per frame caused by OS-thread working sets.
+
+    Each thread gets an equal slice of the L2; when its footprint
+    exceeds the slice, every parallel sweep re-streams the footprint.
+    """
+    if threads <= 1:
+        return 0.0
+    slice_bytes = l2_bytes / threads
+    footprint = thread_footprint_bytes(threads)
+    if footprint <= slice_bytes:
+        return 0.0
+    lines = footprint / BLOCK
+    return threads * lines * SWEEPS_PER_FRAME
+
+
+def sync_instructions(threads: int, sweeps: int = SWEEPS_PER_FRAME
+                      ) -> float:
+    """Kernel instructions per frame for barriers and wakeups."""
+    if threads <= 1:
+        return 0.0
+    return threads * sweeps * 250.0

@@ -14,6 +14,18 @@ static-static pairs.
 from __future__ import annotations
 
 
+class _StatsMixin:
+    """Uniform ``last_stats`` view over per-strategy counters."""
+
+    @property
+    def last_stats(self) -> dict:
+        return {
+            "tests": getattr(self, "tests", 0),
+            "swaps": getattr(self, "swaps", 0),
+            "pairs": getattr(self, "last_pairs", 0),
+        }
+
+
 def _pair_key(ga, gb):
     if ga.index <= gb.index:
         return (ga.index, gb.index)
@@ -24,7 +36,7 @@ def _emit(ga, gb):
     return (ga, gb) if ga.index <= gb.index else (gb, ga)
 
 
-class BruteForceBroadphase:
+class BruteForceBroadphase(_StatsMixin):
     """O(n^2) AABB tests — the correctness reference."""
 
     name = "brute"
@@ -48,10 +60,12 @@ class BruteForceBroadphase:
                     out.append(_emit(gi, gj))
         self.tests = tests
         out.sort(key=lambda p: (p[0].index, p[1].index))
+        self.last_pairs = len(out)
+        self.last_order = [g.uid for g in geoms]
         return out
 
 
-class SweepAndPrune:
+class SweepAndPrune(_StatsMixin):
     """Incremental single-axis sweep-and-prune (sorted on x)."""
 
     name = "sap"
@@ -109,10 +123,12 @@ class SweepAndPrune:
             active.append((g, box))
         self.tests = tests
         out.sort(key=lambda p: (p[0].index, p[1].index))
+        self.last_pairs = len(out)
+        self.last_order = [g.uid for g in order]
         return out
 
 
-class SpatialHashBroadphase:
+class SpatialHashBroadphase(_StatsMixin):
     """Uniform grid hash; good when object sizes are homogeneous."""
 
     name = "hash"
@@ -177,6 +193,8 @@ class SpatialHashBroadphase:
                     out.append(_emit(u, g))
         self.tests = tests
         out.sort(key=lambda p: (p[0].index, p[1].index))
+        self.last_pairs = len(out)
+        self.last_order = [g.uid for g in bounded + unbounded]
         return out
 
 

@@ -31,6 +31,11 @@ class Geom:
         return f"Geom({self.shape!r}, {tag})"
 
     @property
+    def gid(self) -> int:
+        """Stable geom id (alias of ``uid``; survives re-indexing)."""
+        return self.uid
+
+    @property
     def is_static(self) -> bool:
         return self.body is None or self.body.is_static
 

@@ -12,9 +12,10 @@ counts into ``world.report``; ``step_frame()`` bundles the paper's
 from __future__ import annotations
 
 from ..collision import BROADPHASES, Geom, collide
+from ..collision import ccd as ccd_mod
 from ..dynamics import ContactJoint, build_islands, solve_island
 from ..geometry import Shape
-from ..math3d import Vec3
+from ..math3d import Transform, Vec3
 from ..profiling import (
     FrameReport,
     task_cost_cloth,
@@ -115,12 +116,15 @@ class World:
         return geom
 
     def add_static_geom(self, shape_or_geom, friction: float = 0.8,
-                        restitution: float = 0.0) -> Geom:
+                        restitution: float = 0.0,
+                        offset: Transform = None) -> Geom:
         if isinstance(shape_or_geom, Geom):
             geom = shape_or_geom
+            if offset is not None:
+                geom.static_transform = offset
         else:
-            geom = Geom(shape_or_geom, body=None, friction=friction,
-                        restitution=restitution)
+            geom = Geom(shape_or_geom, body=None, transform=offset,
+                        friction=friction, restitution=restitution)
         geom.index = len(self.geoms)
         self.geoms.append(geom)
         return geom
@@ -226,15 +230,29 @@ class World:
             tests=getattr(self.broadphase, "tests", 0),
             swaps=getattr(self.broadphase, "swaps", 0),
         )
+        # Memory-touch trace: the sweep walks geom records in spatial
+        # (not allocation) order — the pointer-chasing access pattern
+        # the paper blames for broadphase cache behavior.
+        sweep_order = getattr(self.broadphase, "last_order", None)
+        if sweep_order is None:
+            sweep_order = [g.uid for g in live_geoms]
+        report.touch("broadphase", "geom", sweep_order)
+        report.touch("broadphase", "endpoint", sweep_order)
 
         # Phase 2: narrowphase.
         contacts = []
         self._contacted_bodies = set()
         self.last_max_penetration = 0.0
         self.last_penetration_uids = ()
+        np_geom_ids = []
+        np_body_ids = []
         for ga, gb in pairs:
             if self._pair_filtered(ga, gb):
                 continue
+            np_geom_ids.extend((ga.uid, gb.uid))
+            for g in (ga, gb):
+                if g.body is not None:
+                    np_body_ids.append(g.body.uid)
             found = collide(ga, gb)
             if len(found) > cfg.max_contacts_per_pair:
                 found = sorted(found, key=lambda c: -c.depth)
@@ -252,6 +270,10 @@ class World:
                             g.body.uid for g in (ga, gb)
                             if g.body is not None)
                 contacts.extend(found)
+        report.touch("narrowphase", "geom", np_geom_ids)
+        report.touch("narrowphase", "body", np_body_ids)
+        report.touch("narrowphase", "contact", range(len(contacts)),
+                     writes=True)
 
         # Phase 3: island creation.
         contact_joints = [
@@ -261,9 +283,11 @@ class World:
         # Joints lose their effect when either endpoint is disabled
         # (kill-bounds cull, quarantine, prefracture): solving against a
         # frozen body would yank the live one toward a corpse.
-        active_joints = [j for j in self.joints
-                         if j.enabled and not j.broken
-                         and self._joint_bodies_enabled(j)]
+        active_joint_ids = [
+            idx for idx, j in enumerate(self.joints)
+            if j.enabled and not j.broken
+            and self._joint_bodies_enabled(j)]
+        active_joints = [self.joints[idx] for idx in active_joint_ids]
         islands, merges = build_islands(self.bodies, contact_joints,
                                         active_joints)
         report.count(
@@ -273,6 +297,11 @@ class World:
             islands=len(islands),
             constraints=len(contact_joints) + len(active_joints),
         )
+        report.touch("island_creation", "body",
+                     [b.uid for b in self.dynamic_bodies()])
+        report.touch("island_creation", "contact",
+                     range(len(contacts)))
+        report.touch("island_creation", "joint", active_joint_ids)
 
         # Phase 4: island processing.
         self._apply_forces(dt)
@@ -281,6 +310,7 @@ class World:
         new_cache = {}
         self.last_island_residuals = []
         self.last_solver_residual = 0.0
+        row_base = 0
         for island in islands:
             if cfg.auto_sleep and self._island_asleep(island):
                 report.count("island_processing", skipped_islands=1)
@@ -317,6 +347,16 @@ class World:
             )
             report.add_task("island_processing", task_cost_island(
                 stats.rows, stats.row_updates, len(island.bodies)))
+            # The PGS solver sweeps the island's row pool and body
+            # records once per iteration — the repeated-sweep footprint
+            # that makes island caching pay off (Fig. 3).
+            report.touch("island_processing", "row",
+                         range(row_base, row_base + stats.rows),
+                         repeat=cfg.solver_iterations, writes=True)
+            report.touch("island_processing", "body",
+                         [b.uid for b in island.bodies],
+                         repeat=cfg.solver_iterations, writes=True)
+            row_base += stats.rows
             if cfg.auto_sleep:
                 self._update_sleep(island, dt)
         self._impulse_cache = new_cache
@@ -327,8 +367,14 @@ class World:
                 g for g in live_geoms
                 if g.shape.kind in ("sphere", "box")
             ]
+            vert_base = 0
             for cloth in self.cloths:
                 stats = cloth.step(dt, cfg.gravity, cloth_colliders)
+                report.touch("cloth", "clothvert",
+                             range(vert_base,
+                                   vert_base + cloth.num_vertices),
+                             repeat=cloth.ITERATIONS, writes=True)
+                vert_base += cloth.num_vertices
                 report.count(
                     "cloth",
                     cloths=1,
@@ -384,9 +430,25 @@ class World:
 
     def _integrate(self, bodies, dt: float):
         bounds = self.config.world_bounds
+        ccd_threshold = ccd_mod.CCD_MOTION_THRESHOLD
         for body in bodies:
             if body.sleeping:
                 continue
+            motion = body.linear_velocity * dt
+            if motion.length() > ccd_threshold:
+                # Continuous collision: sweep fast movers so bullets
+                # can't tunnel through thin structures in one sub-step.
+                # Velocity is kept — the contact solver resolves the
+                # impact next step from the clamped position.
+                clamped = ccd_mod.sweep_clamp(self, body, motion)
+                if clamped is not None:
+                    body.position = clamped
+                    body.orientation = body.orientation.integrated(
+                        body.angular_velocity, dt)
+                    body._inv_inertia_world = None
+                    if self.report is not None:
+                        self.report.count("narrowphase", ccd_clamps=1)
+                    continue
             body.position = body.position + body.linear_velocity * dt
             body.orientation = body.orientation.integrated(
                 body.angular_velocity, dt)

@@ -8,17 +8,37 @@ from .costmodel import (
     task_cost_island,
     task_cost_narrowphase,
 )
+from .instmix import (
+    FG_KERNEL_SHARE,
+    KERNEL_FOOTPRINTS,
+    KERNEL_MIX,
+    MIX_CATEGORIES,
+    PHASE_MIX,
+)
 from .report import (
     PARALLEL_PHASES,
     PHASES,
     SERIAL_PHASES,
     FrameReport,
     PhaseCounters,
+    TouchGroup,
     mean_report,
 )
-from .tasks import cg_speedup, phase_schedule_length, speedup_curve
+from .tasks import (
+    cg_speedup,
+    phase_cg_speedup,
+    phase_schedule_length,
+    speedup_curve,
+)
 
 __all__ = [
+    "TouchGroup",
+    "phase_cg_speedup",
+    "MIX_CATEGORIES",
+    "PHASE_MIX",
+    "KERNEL_MIX",
+    "KERNEL_FOOTPRINTS",
+    "FG_KERNEL_SHARE",
     "PHASES",
     "PARALLEL_PHASES",
     "SERIAL_PHASES",

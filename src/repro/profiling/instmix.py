@@ -1,0 +1,114 @@
+"""Instruction-mix tables for the five phases and three FG kernels.
+
+The paper characterizes each phase (Fig. 7b) and each extracted FG
+kernel (Fig. 9b) by dynamic instruction mix; we carry the same
+categories. Phase mixes describe whole-phase CG execution (bookkeeping
+included); kernel mixes describe only the tight FG loops, so the float
+share of the numeric kernels is higher and the branch share lower.
+
+``KERNEL_FOOTPRINTS`` is the §8.1.2 static footprint of each kernel:
+static instructions, 32-bit code bytes (4 B/inst), and data read/write
+bytes per 100 loop iterations — the numbers that let the FG cores get
+away with tiny instruction stores and narrow data paths.
+"""
+
+from __future__ import annotations
+
+MIX_CATEGORIES = (
+    "int_alu",
+    "branch",
+    "float_add",
+    "float_mult",
+    "rd_port",
+    "wr_port",
+    "other",
+)
+
+# Fig. 7(b): dynamic mix of each phase on a CG core.
+PHASE_MIX = {
+    "broadphase": {
+        "int_alu": 0.42, "branch": 0.17, "float_add": 0.04,
+        "float_mult": 0.02, "rd_port": 0.24, "wr_port": 0.07,
+        "other": 0.04,
+    },
+    "narrowphase": {
+        "int_alu": 0.38, "branch": 0.13, "float_add": 0.09,
+        "float_mult": 0.08, "rd_port": 0.22, "wr_port": 0.06,
+        "other": 0.04,
+    },
+    "island_creation": {
+        "int_alu": 0.45, "branch": 0.18, "float_add": 0.01,
+        "float_mult": 0.01, "rd_port": 0.26, "wr_port": 0.06,
+        "other": 0.03,
+    },
+    "island_processing": {
+        "int_alu": 0.24, "branch": 0.06, "float_add": 0.17,
+        "float_mult": 0.16, "rd_port": 0.24, "wr_port": 0.09,
+        "other": 0.04,
+    },
+    "cloth": {
+        "int_alu": 0.25, "branch": 0.07, "float_add": 0.16,
+        "float_mult": 0.13, "rd_port": 0.22, "wr_port": 0.11,
+        "other": 0.06,
+    },
+}
+
+# Fig. 9(b): dynamic mix of the three extracted FG kernels.
+KERNEL_MIX = {
+    "narrowphase": {
+        "int_alu": 0.47, "branch": 0.08, "float_add": 0.04,
+        "float_mult": 0.03, "rd_port": 0.28, "wr_port": 0.06,
+        "other": 0.04,
+    },
+    "island": {
+        "int_alu": 0.27, "branch": 0.04, "float_add": 0.17,
+        "float_mult": 0.16, "rd_port": 0.24, "wr_port": 0.08,
+        "other": 0.04,
+    },
+    "cloth": {
+        "int_alu": 0.28, "branch": 0.05, "float_add": 0.16,
+        "float_mult": 0.13, "rd_port": 0.22, "wr_port": 0.10,
+        "other": 0.06,
+    },
+}
+
+# §8.1.2: static kernel footprints.
+KERNEL_FOOTPRINTS = {
+    "narrowphase": {
+        "static_insts": 277,
+        "code_bytes_32bit": 1108,
+        "read_bytes_per_100": 1668,
+        "write_bytes_per_100": 100,
+    },
+    "island": {
+        "static_insts": 177,
+        "code_bytes_32bit": 708,
+        "read_bytes_per_100": 604,
+        "write_bytes_per_100": 128,
+    },
+    "cloth": {
+        "static_insts": 221,
+        "code_bytes_32bit": 884,
+        "read_bytes_per_100": 376,
+        "write_bytes_per_100": 308,
+    },
+}
+
+# Which phase each FG kernel is cut out of, and roughly what share of
+# that phase's dynamic instructions the kernel loop covers (the rest is
+# CG-side marshalling that stays on the big cores).
+KERNEL_PHASE = {
+    "narrowphase": "narrowphase",
+    "island": "island_processing",
+    "cloth": "cloth",
+}
+
+FG_KERNEL_SHARE = {
+    "narrowphase": 0.80,
+    "island_processing": 0.88,
+    "cloth": 0.92,
+}
+
+
+def float_share(mix: dict) -> float:
+    return mix["float_add"] + mix["float_mult"]

@@ -1,0 +1,110 @@
+"""Expand recorded TouchGroups into 64-byte-block address traces.
+
+The engine records *which records* each phase touched (geoms, bodies,
+contacts, solver rows, cloth vertices) into ``FrameReport.step_touches``;
+this module lays those records out in flat per-kind regions and expands
+the groups into the block-address streams the cache models consume.
+
+Record sizes follow the paper's ODE-era object layouts (§6.1): a rigid
+body is ~412 B of state, a geom 116 B, a joint ~256 B, a contact 148 B;
+cloth vertices stream 48 B (position + previous position) each.
+"""
+
+from __future__ import annotations
+
+from .report import PHASES
+
+BLOCK = 64
+
+RECORD_BYTES = {
+    "body": 412,
+    "geom": 116,
+    "joint": 256,
+    "contact": 148,
+    "row": 148,
+    "clothvert": 48,
+    "endpoint": 16,
+}
+
+# Disjoint address regions per record kind, far enough apart that no
+# realistic scene overlaps them.
+REGION_BASE = {
+    "body": 1 << 28,
+    "geom": 2 << 28,
+    "joint": 3 << 28,
+    "contact": 4 << 28,
+    "row": 5 << 28,
+    "clothvert": 6 << 28,
+    "endpoint": 7 << 28,
+}
+
+
+def group_blocks(group):
+    """Ordered 64B block addresses of one TouchGroup's single sweep.
+
+    Consecutive duplicate blocks (several small records per line) are
+    collapsed — a second touch of the line you just touched never
+    changes LRU state or miss counts.
+    """
+    size = RECORD_BYTES[group.kind]
+    base = REGION_BASE[group.kind]
+    out = []
+    last = -1
+    for rid in group.ids:
+        start = base + rid * size
+        for addr in range(start - start % BLOCK, start + size, BLOCK):
+            block = addr // BLOCK
+            if block != last:
+                out.append(block)
+                last = block
+    return out
+
+
+def step_groups(report, phases=None):
+    """Yield ``(phase, TouchGroup)`` in pipeline order over sub-steps."""
+    wanted = PHASES if phases is None else tuple(phases)
+    order = {p: i for i, p in enumerate(PHASES)}
+    for step in report.step_touches:
+        for phase, group in sorted(step, key=lambda pg: order[pg[0]]):
+            if phase in wanted:
+                yield phase, group
+
+
+def expand(report, phases=None):
+    """Yield ``(block, phase, writes)`` for every access, repeats
+    included. Prefer :func:`step_groups` plus group-aware consumers for
+    anything iteration-heavy."""
+    for phase, group in step_groups(report, phases):
+        blocks = group_blocks(group)
+        for _ in range(group.repeat):
+            for block in blocks:
+                yield block, phase, group.writes
+
+
+def interleaved(report, threads: int, chunk: int = 32):
+    """Round-robin interleave the parallel-phase streams of ``threads``
+    workers, ``chunk`` accesses at a time — the multi-core L2 traffic of
+    Fig. 6. Serial phases stay on thread 0."""
+    from .report import PARALLEL_PHASES
+
+    streams = [[] for _ in range(threads)]
+    turn = 0
+    for phase, group in step_groups(report):
+        blocks = group_blocks(group) * group.repeat
+        if phase in PARALLEL_PHASES and threads > 1:
+            streams[turn].extend((b, phase) for b in blocks)
+            turn = (turn + 1) % threads
+        else:
+            streams[0].extend((b, phase) for b in blocks)
+    cursors = [0] * threads
+    out = []
+    while True:
+        progressed = False
+        for t in range(threads):
+            lo = cursors[t]
+            if lo < len(streams[t]):
+                out.extend(streams[t][lo:lo + chunk])
+                cursors[t] = lo + chunk
+                progressed = True
+        if not progressed:
+            return out

@@ -24,8 +24,37 @@ PARALLEL_PHASES = ("narrowphase", "island_processing", "cloth")
 SERIAL_PHASES = tuple(p for p in PHASES if p not in PARALLEL_PHASES)
 
 
+class TouchGroup:
+    """One recorded burst of memory activity: ``ids`` records of region
+    ``kind`` touched in order, swept ``repeat`` times (solver
+    iterations), optionally as writes. ``ids`` may be any iterable of
+    ints (a ``range`` keeps big sequential sweeps compact)."""
+
+    __slots__ = ("kind", "ids", "repeat", "writes")
+
+    def __init__(self, kind, ids, repeat=1, writes=False):
+        self.kind = kind
+        self.ids = ids if isinstance(ids, range) else tuple(ids)
+        self.repeat = int(repeat)
+        self.writes = bool(writes)
+
+    def __repr__(self):
+        return (f"TouchGroup({self.kind!r}, n={len(self.ids)},"
+                f" repeat={self.repeat})")
+
+
 class PhaseCounters(dict):
     """Counter dict that reads absent keys as zero."""
+
+    # Per-step CG task-cost lists, attached by FrameReport.__getitem__
+    # so architecture models can ask a phase view for its task trace.
+    _step_tasks = None
+
+    def per_step_cg_tasks(self):
+        """Task costs bucketed by sub-step: ``[[cost, ...], ...]``."""
+        if not self._step_tasks:
+            return []
+        return [list(ts) for ts in self._step_tasks]
 
     def get(self, key, default=0.0):
         return dict.get(self, key, default)
@@ -51,6 +80,11 @@ class FrameReport:
         self.frame_index = frame_index
         self.phases = {phase: PhaseCounters() for phase in PHASES}
         self.tasks = {phase: [] for phase in PARALLEL_PHASES}
+        # Task costs bucketed per sub-step (barriers between sub-steps
+        # matter for scheduling), and per-step memory-touch traces
+        # ({phase: [TouchGroup, ...]} per sub-step) for the cache models.
+        self.step_tasks = {phase: [] for phase in PARALLEL_PHASES}
+        self.step_touches = []
         self.steps = 0
         # Watchdog incident log for this frame (a
         # repro.resilience.HealthReport), or None when the frame ran
@@ -59,7 +93,9 @@ class FrameReport:
         self.health = None
 
     def __getitem__(self, phase: str) -> PhaseCounters:
-        return self.phases[phase]
+        counters = self.phases[phase]
+        counters._step_tasks = self.step_tasks.get(phase)
+        return counters
 
     def __contains__(self, phase: str) -> bool:
         return phase in self.phases
@@ -69,8 +105,20 @@ class FrameReport:
         for key, value in amounts.items():
             counters.add(key, value)
 
+    def _step_bucket(self, buckets):
+        while len(buckets) < max(1, self.steps):
+            buckets.append([])
+        return buckets[-1]
+
     def add_task(self, phase: str, cost: float):
         self.tasks[phase].append(float(cost))
+        self._step_bucket(self.step_tasks[phase]).append(float(cost))
+
+    def touch(self, phase: str, kind: str, ids, repeat: int = 1,
+              writes: bool = False):
+        """Record a memory-touch burst for the architecture models."""
+        bucket = self._step_bucket(self.step_touches)
+        bucket.append((phase, TouchGroup(kind, ids, repeat, writes)))
 
     def summary(self):
         return {phase: dict(counters)
@@ -81,6 +129,8 @@ class FrameReport:
             self.phases[phase].merge(other.phases[phase])
         for phase in PARALLEL_PHASES:
             self.tasks[phase].extend(other.tasks[phase])
+            self.step_tasks[phase].extend(other.step_tasks[phase])
+        self.step_touches.extend(other.step_touches)
         self.steps += max(1, other.steps)
         if other.health is not None:
             if self.health is None:
@@ -116,9 +166,12 @@ def mean_report(reports) -> FrameReport:
         for r in reports:
             merged.merge(r.phases[phase])
         out.phases[phase] = merged.scaled(inv)
-    # Task lists come from the last (warmed-up) frame: averaging task
-    # *costs* across frames would change the task count.
+    # Task lists and touch traces come from the last (warmed-up) frame:
+    # averaging task *costs* across frames would change the task count.
     for phase in PARALLEL_PHASES:
         out.tasks[phase] = list(reports[-1].tasks[phase])
+        out.step_tasks[phase] = [list(ts)
+                                 for ts in reports[-1].step_tasks[phase]]
+    out.step_touches = [list(step) for step in reports[-1].step_touches]
     out.steps = reports[-1].steps
     return out

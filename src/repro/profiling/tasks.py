@@ -20,8 +20,42 @@ def phase_schedule_length(tasks, cores: int) -> float:
     return max(total / cores, max(tasks))
 
 
-def cg_speedup(report, cores: int) -> float:
-    """Frame speedup on ``cores`` ideal CG cores (Amdahl over phases)."""
+def phase_cg_speedup(report, phase: str, cores: int) -> float:
+    """Speedup of one parallel phase on ``cores`` ideal CG cores.
+
+    Sub-steps are barriers: the phase re-runs each sub-step and cannot
+    overlap tasks across them, so the achievable speedup is bounded by
+    the *worst* sub-step — typically the one whose largest single task
+    (a big island, the 625-vertex drape) owns the biggest share of that
+    sub-step's work.
+    """
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    step_lists = report.step_tasks.get(phase)
+    if not step_lists:
+        tasks = report.tasks.get(phase, [])
+        step_lists = [tasks] if tasks else []
+    worst = None
+    for tasks in step_lists:
+        if not tasks:
+            continue
+        s = sum(tasks) / phase_schedule_length(tasks, cores)
+        if worst is None or s < worst:
+            worst = s
+    return worst if worst is not None else 1.0
+
+
+def cg_speedup(report, phase, cores: int = None) -> float:
+    """Frame speedup on ``cores`` ideal CG cores (Amdahl over phases).
+
+    ``cg_speedup(report, cores)`` analyzes the whole frame;
+    ``cg_speedup(report, phase, cores)`` analyzes one parallel phase
+    with sub-step barriers (see :func:`phase_cg_speedup`).
+    """
+    if cores is None:
+        phase, cores = None, phase
+    if phase is not None:
+        return phase_cg_speedup(report, phase, cores)
     if cores < 1:
         raise ValueError("cores must be >= 1")
     insts = report.phase_instructions()

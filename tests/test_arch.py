@@ -1,0 +1,220 @@
+"""Unit tests for the architecture models against hand-computed traces."""
+
+import math
+
+import pytest
+
+from repro.arch import (
+    CacheSim,
+    DESIGNS,
+    HTX,
+    INTERCONNECTS,
+    L2Partitioning,
+    ONCHIP_MESH,
+    PCIE,
+    ParallaxConfig,
+    ParallaxMachine,
+    StaticPredictor,
+    WayPartitionedCache,
+    YagsPredictor,
+    simulate_noc,
+)
+from repro.arch import arbiter, area, model2, osmodel
+from repro.arch.kernels import Instr
+from repro.arch.pipeline import simulate_ipc
+
+MB = 1024 * 1024
+
+
+# -- cache -------------------------------------------------------------
+
+def test_cache_direct_mapped_known_stream():
+    # capacity 128B, 1 way, 64B lines -> 2 direct-mapped sets.
+    # Blocks 0 and 2 conflict in set 0; block 1 lives in set 1.
+    sim = CacheSim(128, ways=1).run([0, 1, 0, 2, 0])
+    # miss(0), miss(1), hit(0), miss(2 evicts 0), miss(0)
+    assert sim.hits == 1
+    assert sim.misses == 4
+
+
+def test_cache_lru_within_set():
+    # One fully-associative set with 2 ways.
+    sim = CacheSim(128, ways=2).run([0, 1, 0, 2, 1])
+    # miss(0), miss(1), hit(0), miss(2 evicts LRU=1), miss(1)
+    assert sim.hits == 1
+    assert sim.misses == 4
+
+
+def test_cache_streaming_prefetch():
+    sim = CacheSim(64 * MB, ways=8, prefetch_depth=4)
+    sim.run(range(100))
+    # A linear stream is almost fully covered after the first miss.
+    assert sim.misses < 100 * 0.3
+    assert sim.prefetch_hits > 100 * 0.7
+
+
+def test_waypart_strict_allocation():
+    # 2 owners x 1 way, 1 set each: owners never evict each other.
+    cache = WayPartitionedCache(
+        128, ways=2, allocation={"a": 1, "b": 1})
+    cache.access(0, "a")
+    cache.access(0, "b")      # miss: b cannot see a's ways
+    cache.access(0, "a")      # hit in a's partition
+    assert cache.hits == {"a": 1, "b": 0}
+    assert cache.misses == {"a": 1, "b": 1}
+
+
+# -- branch prediction -------------------------------------------------
+
+def test_yags_learns_biased_branch():
+    p = YagsPredictor()
+    for i in range(1000):
+        p.update(0x40, i % 10 != 0)  # 90% taken
+    assert p.accuracy() > 0.8
+
+
+def test_yags_learns_alternating_pattern():
+    # Global history disambiguates a strict T/NT alternation.
+    p = YagsPredictor()
+    for i in range(2000):
+        p.update(0x80, i % 2 == 0)
+    assert p.accuracy() > 0.7
+
+
+def test_static_predictor_counts_taken_branches():
+    p = StaticPredictor()
+    for _ in range(10):
+        p.update(0x10, True)
+    assert not p.predict(0x10)
+    assert p.mispredicts == 10
+
+
+# -- pipeline ----------------------------------------------------------
+
+def _chain(n, op="int"):
+    return [Instr(op, (i - 1,) if i else (), 0, False)
+            for i in range(n)]
+
+
+def _independent(n, op="int"):
+    return [Instr(op, (), 0, False) for i in range(n)]
+
+
+def test_ipc_dependent_chain_is_serial():
+    ipc = simulate_ipc(_chain(64), DESIGNS["desktop"])
+    assert 0.8 <= ipc <= 1.05
+
+
+def test_ipc_independent_ops_fill_the_width():
+    ipc = simulate_ipc(_independent(256), DESIGNS["desktop"])
+    assert ipc > 3.0
+
+
+def test_ipc_fdiv_chain_pays_full_latency():
+    # Dependent 12-cycle divides: ~1/12 IPC.
+    ipc = simulate_ipc(_chain(32, op="fdiv"), DESIGNS["desktop"])
+    assert ipc < 0.15
+
+
+def test_ipc_in_order_width_one_cap():
+    ipc = simulate_ipc(_independent(256), DESIGNS["shader"])
+    assert 0.5 < ipc <= 1.0
+
+
+# -- arbiter -----------------------------------------------------------
+
+def test_arbiter_round_trip_adds_tree_hops():
+    # 2 levels x 4 cycles each way on top of the link round trip.
+    assert arbiter.round_trip_cycles(ONCHIP_MESH) == 40 + 16
+    assert arbiter.round_trip_cycles(HTX) == 240 + 16
+    assert arbiter.round_trip_cycles(PCIE) == 2400 + 16
+
+
+def test_arbiter_tasks_in_flight_per_link():
+    # One core, 56-cycle tasks: on-chip needs 1 + ceil(56/56) = 2.
+    assert arbiter.tasks_in_flight_required(1, 56, ONCHIP_MESH) == 2
+    # Longer round trips need deeper queues, monotonically per link.
+    depths = [arbiter.tasks_in_flight_required(8, 500, link)
+              for link in (ONCHIP_MESH, HTX, PCIE)]
+    assert depths == sorted(depths)
+    assert math.isinf(arbiter.tasks_in_flight_required(4, 0, HTX))
+
+
+def test_arbiter_bandwidth_feasibility():
+    # 1 core, 2000-cycle tasks @2GHz = 1M tasks/s; 100B/task = 100MB/s.
+    assert arbiter.bandwidth_feasible(1, 2000, 100, PCIE)
+    # 150 cores pulling 1KB every 100 cycles = 3TB/s: nothing fits.
+    assert not arbiter.bandwidth_feasible(150, 100, 1000, ONCHIP_MESH)
+
+
+def test_static_mapping_overhead():
+    assert arbiter.static_mapping_overhead([1, 1, 1, 1], 4) == 0.0
+    # One dominant island: the thread that drew it bounds the frame.
+    skew = arbiter.static_mapping_overhead([8, 1, 1, 1], 4)
+    assert skew == pytest.approx(4 * 8 / 11 - 1)
+
+
+# -- interconnect ------------------------------------------------------
+
+def test_interconnect_transfer_seconds():
+    assert PCIE.transfer_seconds(2.0e9) == pytest.approx(3e-6 + 1.0)
+    assert ONCHIP_MESH.transfer_seconds(0) == 0.0
+    assert set(INTERCONNECTS) == {"onchip-mesh", "htx", "pcie"}
+
+
+def test_noc_delivers_every_packet():
+    out = simulate_noc("mesh", packets=64)
+    assert out["delivered"] == 64
+    assert out["avg_latency"] > 0
+
+
+def test_noc_hotspot_contention():
+    uniform = simulate_noc("mesh", packets=256)
+    hot = simulate_noc("mesh", packets=256, hotspot=True)
+    assert hot["avg_latency"] > uniform["avg_latency"]
+
+
+# -- OS model, area, model2 --------------------------------------------
+
+def test_os_kernel_misses_jump_past_four_threads():
+    # 12MB / 4 threads = 3MB slice > 850KB footprint: no re-streaming.
+    assert osmodel.kernel_overhead_misses(4, 12 * MB) == 0.0
+    # 8 threads: 1.5MB slice < 5MB footprint -> misses appear.
+    assert osmodel.kernel_overhead_misses(8, 12 * MB) > 1e6
+    assert osmodel.sync_instructions(1) == 0.0
+    assert osmodel.sync_instructions(4) > osmodel.sync_instructions(2)
+
+
+def test_area_pool_ordering():
+    # Paper 8.2.1: shader pool is the smallest for its core count.
+    pools = {d: area.fg_pool_area(d, area.PAPER_POOL_CORES[d])
+             for d in ("desktop", "console", "shader")}
+    assert pools["shader"] < pools["console"] < pools["desktop"]
+
+
+def test_model2_paper_example():
+    assert model2.paper_example_seconds() == pytest.approx(6e-5, rel=0.2)
+
+
+# -- machine API -------------------------------------------------------
+
+def test_l2_partitioning_slices():
+    part = L2Partitioning.paper_scheme()
+    assert part.total_bytes == 12 * MB
+    group, nbytes = part.slice_for("island_creation")
+    assert "broadphase" in group and nbytes == 4 * MB
+    shared = L2Partitioning.shared(16 * MB)
+    group, nbytes = shared.slice_for("cloth")
+    assert nbytes == 16 * MB
+
+    ded = L2Partitioning.dedicated("narrowphase", 2 * MB)
+    assert ded.slice_for("narrowphase") == (("narrowphase",), 2 * MB)
+    rest, _ = ded.slice_for("cloth")
+    assert "narrowphase" not in rest
+
+
+def test_machine_default_config():
+    machine = ParallaxMachine()
+    assert machine.config.cg_cores == 1
+    assert machine.config.l2.total_bytes == MB
+    assert ParallaxConfig(cg_cores=4).cg_cores == 4

@@ -9,7 +9,6 @@ import pytest
 
 from repro.resilience import (
     Fault,
-    FaultInjector,
     FaultSchedule,
     FAULT_KINDS,
     WatchdogConfig,
