@@ -1,14 +1,21 @@
 #!/usr/bin/env python
-"""Emit a machine-readable performance snapshot (BENCH_5.json).
+"""Emit a machine-readable performance snapshot.
 
-Times the engine's core kernels with ``time.perf_counter`` and records
-the per-phase modeled frame breakdown at smoke scale, so CI runs leave
-a comparable artifact:
+Default mode times the engine's core kernels with ``time.perf_counter``
+and records the per-phase modeled frame breakdown at smoke scale, so
+CI runs leave a comparable artifact:
 
     PYTHONPATH=src python scripts/perf_report.py --out BENCH_5.json
 
-``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_FRAMES`` control the workload
-size exactly as they do for the benchmark suite.
+``--compare-backends`` instead times every Table 3 workload on the
+scalar and numpy backends plus a packed :class:`BatchWorld` fleet:
+
+    PYTHONPATH=src python scripts/perf_report.py --compare-backends \\
+        --out BENCH_6.json
+
+``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_FRAMES`` (and, for the
+comparison, ``REPRO_BENCH_REPEATS`` / ``REPRO_BENCH_BATCH``) control
+the workload size exactly as they do for the benchmark suite.
 """
 
 import argparse
@@ -104,28 +111,133 @@ def modeled_phases(scale, frames):
     }
 
 
+def backend_comparison(scale, frames, repeats, batch_n):
+    """Per-workload frame times: scalar vs numpy vs BatchWorld.
+
+    Uses ``time.process_time`` best-of-``repeats`` — wall clock on a
+    shared CI box swings far more than the kernels themselves do.
+    The batch column is per *world*-frame across ``batch_n`` packed
+    copies of each workload.
+    """
+    from repro.fastpath import BatchWorld, default_backend
+    from repro.profiling import FrameReport
+    from repro.workloads import BENCHMARKS
+
+    def build(name, backend, seed=0):
+        with default_backend(backend):
+            return BENCHMARKS[name].build(scale=scale, seed=seed)
+
+    def run_frames(world, driver):
+        for _ in range(frames):
+            world.report = FrameReport(world.frame_index)
+            for _ in range(world.config.substeps_per_frame):
+                if driver is not None:
+                    driver()
+                world.step()
+            world.frame_index += 1
+
+    workloads = {}
+    speedups = {"numpy": [], "batch": []}
+    for name in sorted(BENCHMARKS):
+        per_frame = {}
+        for backend in ("scalar", "numpy"):
+            best = float("inf")
+            for _ in range(repeats):
+                world, driver = build(name, backend)
+                t0 = time.process_time()
+                run_frames(world, driver)
+                best = min(best, time.process_time() - t0)
+            per_frame[backend] = best / frames
+        best = float("inf")
+        for _ in range(repeats):
+            worlds, drivers = [], []
+            for seed in range(batch_n):
+                world, driver = build(name, "numpy", seed=seed)
+                worlds.append(world)
+                drivers.append(driver)
+            batch = BatchWorld(worlds)
+            t0 = time.process_time()
+            for _ in range(frames):
+                batch.step_frame(drivers)
+            best = min(best, time.process_time() - t0)
+        per_frame["batch"] = best / (frames * batch_n)
+
+        numpy_x = per_frame["scalar"] / per_frame["numpy"]
+        batch_x = per_frame["scalar"] / per_frame["batch"]
+        speedups["numpy"].append(numpy_x)
+        speedups["batch"].append(batch_x)
+        workloads[name] = {
+            "scalar_ms_per_frame": per_frame["scalar"] * 1e3,
+            "numpy_ms_per_frame": per_frame["numpy"] * 1e3,
+            "batch_ms_per_world_frame": per_frame["batch"] * 1e3,
+            "numpy_speedup": numpy_x,
+            "batch_speedup": batch_x,
+        }
+        print(f"{name:12s} scalar={per_frame['scalar'] * 1e3:8.2f}ms "
+              f"numpy={per_frame['numpy'] * 1e3:8.2f}ms "
+              f"batch={per_frame['batch'] * 1e3:8.2f}ms "
+              f"x{numpy_x:.2f}/x{batch_x:.2f}")
+
+    def geomean(xs):
+        prod = 1.0
+        for x in xs:
+            prod *= x
+        return prod ** (1.0 / len(xs))
+
+    return {
+        "scale": scale,
+        "frames": frames,
+        "repeats": repeats,
+        "batch_worlds": batch_n,
+        "workloads": workloads,
+        "geomean_numpy_speedup": geomean(speedups["numpy"]),
+        "geomean_batch_speedup": geomean(speedups["batch"]),
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_5.json")
+    parser.add_argument("--out", default=None)
     parser.add_argument("--scale", type=float,
                         default=float(os.environ.get(
                             "REPRO_BENCH_SCALE", "0.03")))
     parser.add_argument("--frames", type=int,
                         default=int(os.environ.get(
                             "REPRO_BENCH_FRAMES", "2")))
+    parser.add_argument("--compare-backends", action="store_true",
+                        help="emit the scalar/numpy/BatchWorld frame-"
+                             "time comparison (BENCH_6) instead of the"
+                             " kernel microbench snapshot (BENCH_5)")
+    parser.add_argument("--repeats", type=int,
+                        default=int(os.environ.get(
+                            "REPRO_BENCH_REPEATS", "2")))
+    parser.add_argument("--batch-n", type=int,
+                        default=int(os.environ.get(
+                            "REPRO_BENCH_BATCH", "32")))
     args = parser.parse_args(argv)
 
-    report = {
-        "schema": "repro-perf-report/1",
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "engine_microbench_seconds": engine_microbench(),
-        "modeled": modeled_phases(args.scale, args.frames),
-    }
-    with open(args.out, "w") as fh:
+    if args.compare_backends:
+        out = args.out or "BENCH_6.json"
+        report = {
+            "schema": "repro-backend-comparison/1",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "comparison": backend_comparison(
+                args.scale, args.frames, args.repeats, args.batch_n),
+        }
+    else:
+        out = args.out or "BENCH_5.json"
+        report = {
+            "schema": "repro-perf-report/1",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "engine_microbench_seconds": engine_microbench(),
+            "modeled": modeled_phases(args.scale, args.frames),
+        }
+    with open(out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     return 0
 
 

@@ -14,6 +14,14 @@ from __future__ import annotations
 from ..collision import BROADPHASES, Geom, collide
 from ..collision import ccd as ccd_mod
 from ..dynamics import ContactJoint, build_islands, solve_island
+from ..fastpath import resolve_backend
+from ..fastpath import bodies as fp_bodies
+from ..fastpath import cloth as fp_cloth
+from ..fastpath import joints as fp_joints
+from ..fastpath import narrowphase as fp_narrowphase
+from ..fastpath import rows as fp_rows
+from ..fastpath import solver as fp_solver
+from ..fastpath.broadphase import VectorSweepAndPrune
 from ..geometry import Shape
 from ..math3d import Transform, Vec3
 from ..profiling import (
@@ -57,9 +65,17 @@ class WorldConfig:
 
 
 class World:
-    def __init__(self, config: WorldConfig = None):
+    def __init__(self, config: WorldConfig = None, backend: str = None):
         self.config = config if config is not None else WorldConfig()
-        self.broadphase = BROADPHASES[self.config.broadphase]()
+        # ``backend`` picks the engine kernels: ``"scalar"`` runs the
+        # reference per-object code below, ``"numpy"`` swaps in the
+        # bit-identical SoA kernels from ``repro.fastpath``.  ``None``
+        # defers to ``fastpath.default_backend()`` / $REPRO_BACKEND.
+        self.backend = resolve_backend(backend)
+        if self.backend == "numpy" and self.config.broadphase == "sap":
+            self.broadphase = VectorSweepAndPrune()
+        else:
+            self.broadphase = BROADPHASES[self.config.broadphase]()
         self.bodies = []
         self.geoms = []
         self.joints = []
@@ -196,7 +212,22 @@ class World:
         return self.report
 
     def step(self):
-        """Advance one ``dt`` sub-step through the five-phase pipeline."""
+        """Advance one ``dt`` sub-step through the five-phase pipeline.
+
+        The step is split into three stages so :class:`BatchWorld` can
+        interleave many worlds: ``_begin_step`` (pre-phase through
+        constraint-row setup), a solve over the prepared islands, and
+        ``_finish_islands`` + ``_finish_step`` (integration, cloth,
+        clocks).  Stage boundaries only hoist work across *disjoint*
+        islands, so the trajectory is bit-identical to the original
+        single-loop formulation.
+        """
+        ctx = self._begin_step()
+        stats_list = self._solve_prepared(ctx)
+        self._finish_islands(ctx, stats_list)
+        self._finish_step(ctx)
+
+    def _begin_step(self):
         cfg = self.config
         if self.report is None:
             self.report = FrameReport(self.frame_index)
@@ -240,40 +271,44 @@ class World:
         report.touch("broadphase", "endpoint", sweep_order)
 
         # Phase 2: narrowphase.
-        contacts = []
-        self._contacted_bodies = set()
-        self.last_max_penetration = 0.0
-        self.last_penetration_uids = ()
-        np_geom_ids = []
-        np_body_ids = []
-        for ga, gb in pairs:
-            if self._pair_filtered(ga, gb):
-                continue
-            np_geom_ids.extend((ga.uid, gb.uid))
-            for g in (ga, gb):
-                if g.body is not None:
-                    np_body_ids.append(g.body.uid)
-            found = collide(ga, gb)
-            if len(found) > cfg.max_contacts_per_pair:
-                found = sorted(found, key=lambda c: -c.depth)
-                found = found[:cfg.max_contacts_per_pair]
-            report.count("narrowphase", tests=1, contacts=len(found))
-            report.add_task("narrowphase", task_cost_narrowphase(len(found)))
-            if found:
-                for body in (ga.body, gb.body):
-                    if body is not None:
-                        self._contacted_bodies.add(body.uid)
-                for c in found:
-                    if c.depth > self.last_max_penetration:
-                        self.last_max_penetration = c.depth
-                        self.last_penetration_uids = tuple(
-                            g.body.uid for g in (ga, gb)
-                            if g.body is not None)
-                contacts.extend(found)
-        report.touch("narrowphase", "geom", np_geom_ids)
-        report.touch("narrowphase", "body", np_body_ids)
-        report.touch("narrowphase", "contact", range(len(contacts)),
-                     writes=True)
+        if self.backend == "numpy":
+            contacts = fp_narrowphase.collide_pairs(self, pairs, report)
+        else:
+            contacts = []
+            self._contacted_bodies = set()
+            self.last_max_penetration = 0.0
+            self.last_penetration_uids = ()
+            np_geom_ids = []
+            np_body_ids = []
+            for ga, gb in pairs:
+                if self._pair_filtered(ga, gb):
+                    continue
+                np_geom_ids.extend((ga.uid, gb.uid))
+                for g in (ga, gb):
+                    if g.body is not None:
+                        np_body_ids.append(g.body.uid)
+                found = collide(ga, gb)
+                if len(found) > cfg.max_contacts_per_pair:
+                    found = sorted(found, key=lambda c: -c.depth)
+                    found = found[:cfg.max_contacts_per_pair]
+                report.count("narrowphase", tests=1, contacts=len(found))
+                report.add_task("narrowphase",
+                                task_cost_narrowphase(len(found)))
+                if found:
+                    for body in (ga.body, gb.body):
+                        if body is not None:
+                            self._contacted_bodies.add(body.uid)
+                    for c in found:
+                        if c.depth > self.last_max_penetration:
+                            self.last_max_penetration = c.depth
+                            self.last_penetration_uids = tuple(
+                                g.body.uid for g in (ga, gb)
+                                if g.body is not None)
+                    contacts.extend(found)
+            report.touch("narrowphase", "geom", np_geom_ids)
+            report.touch("narrowphase", "body", np_body_ids)
+            report.touch("narrowphase", "contact", range(len(contacts)),
+                         writes=True)
 
         # Phase 3: island creation.
         contact_joints = [
@@ -303,31 +338,89 @@ class World:
                      range(len(contacts)))
         report.touch("island_creation", "joint", active_joint_ids)
 
-        # Phase 4: island processing.
-        self._apply_forces(dt)
+        # Phase 4a: forces + constraint-row setup.  Islands are
+        # body-disjoint, so building every island's rows (including
+        # warm-start impulses, which only touch the island's own
+        # bodies) before any island solves reads exactly the state the
+        # original interleaved loop read.
+        if self.backend == "numpy":
+            fp_bodies.apply_forces(self, dt)
+        else:
+            self._apply_forces(dt)
         erp = cfg.erp
         cache = self._impulse_cache
-        new_cache = {}
-        self.last_island_residuals = []
-        self.last_solver_residual = 0.0
-        row_base = 0
+        prepared = []
+        live_islands = []
         for island in islands:
             if cfg.auto_sleep and self._island_asleep(island):
                 report.count("island_processing", skipped_islands=1)
                 continue
-            rows = []
-            for cj in island.contact_joints:
-                cj_rows = cj.begin_step(dt, erp)
-                if cfg.warm_starting:
-                    cached = cache.get(cj.cache_key)
-                    if cached is not None:
-                        cj.normal_row.warm_start(cached[0])
-                        for row, imp in zip(cj.tangent_rows, cached[1:]):
-                            row.warm_start(imp)
-                rows.extend(cj_rows)
-            for joint in island.joints:
-                rows.extend(joint.begin_step(dt, erp))
-            stats = solve_island(rows, cfg.solver_iterations)
+            live_islands.append(island)
+        if self.backend == "numpy":
+            # Contacts batch across islands in island order; warm
+            # starts (island-local velocity nudges) interleave in the
+            # same global sequence the scalar loop produces.  Joints
+            # only read positions / own-island velocities, so building
+            # them afterwards reads identical state.
+            all_cjs = [cj for isl in live_islands
+                       for cj in isl.contact_joints]
+            built = fp_rows.build_contact_rows(
+                all_cjs, dt, erp, cache if cfg.warm_starting else None)
+            all_joints = [j for isl in live_islands for j in isl.joints]
+            jbuilt = fp_joints.build_joint_rows(all_joints, dt, erp)
+            pos = 0
+            jpos = 0
+            for island in live_islands:
+                rows = []
+                for cj in island.contact_joints:
+                    rows.extend(built[pos])
+                    pos += 1
+                for joint in island.joints:
+                    jrows = jbuilt[jpos]
+                    jpos += 1
+                    if jrows is None:
+                        jrows = joint.begin_step(dt, erp)
+                    rows.extend(jrows)
+                prepared.append((island, rows))
+        else:
+            for island in live_islands:
+                rows = []
+                for cj in island.contact_joints:
+                    cj_rows = cj.begin_step(dt, erp)
+                    if cfg.warm_starting:
+                        cached = cache.get(cj.cache_key)
+                        if cached is not None:
+                            cj.normal_row.warm_start(cached[0])
+                            for row, imp in zip(cj.tangent_rows,
+                                                cached[1:]):
+                                row.warm_start(imp)
+                    rows.extend(cj_rows)
+                for joint in island.joints:
+                    rows.extend(joint.begin_step(dt, erp))
+                prepared.append((island, rows))
+        return {"report": report, "dt": dt, "prepared": prepared,
+                "live_geoms": live_geoms}
+
+    def _solve_prepared(self, ctx):
+        """Phase 4b: solve every prepared island's rows."""
+        iterations = self.config.solver_iterations
+        if self.backend == "numpy":
+            return fp_solver.solve_islands(
+                [rows for _, rows in ctx["prepared"]], iterations)
+        return [solve_island(rows, iterations)
+                for _, rows in ctx["prepared"]]
+
+    def _finish_islands(self, ctx, stats_list):
+        """Phase 4c: joint end-step, impulse cache, integration."""
+        cfg = self.config
+        report = ctx["report"]
+        dt = ctx["dt"]
+        use_fp = self.backend == "numpy"
+        new_cache = {}
+        self.last_island_residuals = []
+        self.last_solver_residual = 0.0
+        row_base = 0
+        for (island, _rows), stats in zip(ctx["prepared"], stats_list):
             self.last_island_residuals.append(
                 (stats.residual, [b.uid for b in island.bodies]))
             if stats.residual > self.last_solver_residual:
@@ -338,7 +431,10 @@ class World:
                 new_cache[cj.cache_key] = (
                     cj.normal_row.impulse,
                 ) + tuple(r.impulse for r in cj.tangent_rows)
-            self._integrate(island.bodies, dt)
+            if use_fp:
+                fp_bodies.integrate(self, island.bodies, dt)
+            else:
+                self._integrate(island.bodies, dt)
             report.count(
                 "island_processing",
                 rows=stats.rows,
@@ -361,15 +457,28 @@ class World:
                 self._update_sleep(island, dt)
         self._impulse_cache = new_cache
 
+    def _finish_step(self, ctx):
+        cfg = self.config
+        report = ctx["report"]
+        dt = ctx["dt"]
+        live_geoms = ctx["live_geoms"]
+
         # Phase 5: cloth.
         if self.cloths:
             cloth_colliders = [
                 g for g in live_geoms
                 if g.shape.kind in ("sphere", "box")
             ]
+            use_fp = self.backend == "numpy"
+            bounds = (fp_cloth.collider_bounds(cloth_colliders)
+                      if use_fp and cloth_colliders else None)
             vert_base = 0
             for cloth in self.cloths:
-                stats = cloth.step(dt, cfg.gravity, cloth_colliders)
+                if use_fp:
+                    stats = fp_cloth.step_cloth(cloth, dt, cfg.gravity,
+                                                cloth_colliders, bounds)
+                else:
+                    stats = cloth.step(dt, cfg.gravity, cloth_colliders)
                 report.touch("cloth", "clothvert",
                              range(vert_base,
                                    vert_base + cloth.num_vertices),

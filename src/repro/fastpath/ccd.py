@@ -1,0 +1,96 @@
+"""Vectorized CCD sweep with the scalar sweep's exact clamp positions.
+
+``ccd.sweep_clamp`` casts one ray against every other geom's inflated
+AABB in a Python loop; for a bullet in a dense scene that loop is most
+of the integration phase.  Here the AABBs come from the broadphase's
+batched :func:`fill_aabbs` (bit-identical to ``geom.aabb()``) and the
+slab test runs across all geoms at once.  Planes and heightfields keep
+their scalar ray tests — there are rarely more than a couple per world.
+
+The scalar routine only uses the *minimum* time of impact, never which
+geom produced it, so folding the per-geom times with an
+order-independent ``min`` reproduces its result exactly (ties and the
+``BACKOFF`` subtraction see the same float either way).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..collision.ccd import BACKOFF, _body_radius
+from ..collision.raycast import _EPS, ray_heightfield, ray_plane
+from ..math3d import Vec3
+from .broadphase import fill_aabbs
+
+
+def _ray_aabb_batch(origin, direction, lo, hi):
+    """``ray_aabb`` over (n, 3) corner arrays; misses become +inf.
+
+    The ray is shared, so the scalar test's per-axis ``abs(d) < eps``
+    branch is uniform across geoms and the slab arithmetic restates
+    exactly: ``(a - o) * (1.0 / d)`` with the conditional swap.
+    """
+    n = len(lo)
+    tmin = np.zeros(n)
+    tmax = np.full(n, np.inf)
+    miss = np.zeros(n, dtype=bool)
+    for k, axis in enumerate(("x", "y", "z")):
+        o = getattr(origin, axis)
+        d = getattr(direction, axis)
+        a = lo[:, k]
+        b = hi[:, k]
+        if abs(d) < _EPS:
+            miss |= (o < a) | (o > b)
+            continue
+        inv = 1.0 / d
+        t0 = (a - o) * inv
+        t1 = (b - o) * inv
+        swap = t0 > t1
+        t0, t1 = np.where(swap, t1, t0), np.where(swap, t0, t1)
+        np.maximum(tmin, t0, out=tmin)
+        np.minimum(tmax, t1, out=tmax)
+    miss |= tmin > tmax
+    return np.where(miss, np.inf, tmin)
+
+
+def sweep_clamp(world, body, motion: Vec3):
+    """Drop-in for ``collision.ccd.sweep_clamp`` (same positions)."""
+    dist = motion.length()
+    if dist <= 0.0:
+        return None
+    direction = motion / dist
+    origin = body.position
+    inflate = _body_radius(world, body)
+    best = None
+    boxed = []
+    for geom in world.geoms:
+        if not geom.enabled or geom.body is body:
+            continue
+        kind = geom.shape.kind
+        if kind == "plane":
+            shifted = origin - geom.shape.normal * inflate
+            t = ray_plane(shifted, direction, geom.shape)
+        elif kind == "heightfield":
+            lifted = origin - Vec3(0.0, inflate, 0.0)
+            t = ray_heightfield(lifted, direction, geom.shape,
+                                geom.transform, dist)
+        else:
+            boxed.append(geom)
+            continue
+        if t is not None and t <= dist and (best is None or t < best):
+            best = t
+    if boxed:
+        n = len(boxed)
+        mins = np.empty((n, 3))
+        maxs = np.empty((n, 3))
+        fill_aabbs(boxed, mins, maxs)
+        t = _ray_aabb_batch(origin, direction,
+                            mins - inflate, maxs + inflate)
+        t = t[t <= dist]
+        if len(t):
+            lowest = float(t.min())
+            if best is None or lowest < best:
+                best = lowest
+    if best is None:
+        return None
+    return origin + direction * max(0.0, best - BACKOFF)

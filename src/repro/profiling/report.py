@@ -35,8 +35,8 @@ class TouchGroup:
     def __init__(self, kind, ids, repeat=1, writes=False):
         self.kind = kind
         self.ids = ids if isinstance(ids, range) else tuple(ids)
-        self.repeat = int(repeat)
-        self.writes = bool(writes)
+        self.repeat = repeat
+        self.writes = writes
 
     def __repr__(self):
         return (f"TouchGroup({self.kind!r}, n={len(self.ids)},"
@@ -102,17 +102,28 @@ class FrameReport:
 
     def count(self, phase: str, **amounts):
         counters = self.phases[phase]
+        get = dict.get
         for key, value in amounts.items():
-            counters.add(key, value)
+            counters[key] = get(counters, key, 0.0) + value
 
     def _step_bucket(self, buckets):
-        while len(buckets) < max(1, self.steps):
+        need = self.steps
+        if need < 1:
+            need = 1
+        while len(buckets) < need:
             buckets.append([])
         return buckets[-1]
 
     def add_task(self, phase: str, cost: float):
-        self.tasks[phase].append(float(cost))
-        self._step_bucket(self.step_tasks[phase]).append(float(cost))
+        cost = float(cost)
+        self.tasks[phase].append(cost)
+        self._step_bucket(self.step_tasks[phase]).append(cost)
+
+    def add_tasks(self, phase: str, costs):
+        """Bulk ``add_task``: same lists, one bucket lookup."""
+        costs = [float(c) for c in costs]
+        self.tasks[phase].extend(costs)
+        self._step_bucket(self.step_tasks[phase]).extend(costs)
 
     def touch(self, phase: str, kind: str, ids, repeat: int = 1,
               writes: bool = False):

@@ -357,7 +357,7 @@ class BenchmarkRun:
 def run_benchmark(name: str, scale: float = 1.0, frames: int = 5,
                   measure_from: int = None, seed: int = 0,
                   watchdog: bool = False, watchdog_config=None,
-                  fault_schedule=None) -> BenchmarkRun:
+                  fault_schedule=None, backend: str = None) -> BenchmarkRun:
     """Build and simulate a benchmark, collecting per-frame reports.
 
     ``watchdog=True`` guards every sub-step with a
@@ -365,10 +365,17 @@ def run_benchmark(name: str, scale: float = 1.0, frames: int = 5,
     NaN/energy/penetration/solver violations); ``fault_schedule`` (a
     :class:`repro.resilience.FaultSchedule`) injects deterministic
     faults through the driver — run it with the watchdog on unless the
-    point is to watch the simulation burn.
+    point is to watch the simulation burn.  ``backend`` retargets the
+    built world ("scalar" / "numpy"); the default follows
+    :func:`repro.fastpath.resolve_backend`.
     """
     bench = get_benchmark(name)
-    world, driver = bench.build(scale=scale, seed=seed)
+    if backend is not None:
+        from ..fastpath import default_backend
+        with default_backend(backend):
+            world, driver = bench.build(scale=scale, seed=seed)
+    else:
+        world, driver = bench.build(scale=scale, seed=seed)
     if measure_from is None:
         measure_from = max(0, frames - 2)
     measure_from = min(measure_from, max(0, frames - 1))

@@ -1,0 +1,220 @@
+"""Hypothesis property tests for the fastpath kernels.
+
+Randomized agreement checks between the vectorized kernels and their
+scalar oracles: SAP pair sets against brute force, PGS impulses and
+stats against the scalar solver, cloth relaxation against the
+reference ``Cloth``.  Marked ``property`` so the fast tier-1 run can
+exclude them (``-m "not property"``); CI runs them in their own step.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cloth import Cloth
+from repro.collision import BruteForceBroadphase, Geom, SweepAndPrune
+from repro.dynamics import Body
+from repro.dynamics.solver import Row, solve_island
+from repro.fastpath import cloth as fp_cloth
+from repro.fastpath.broadphase import VectorSweepAndPrune
+from repro.fastpath.solver import solve_island_soa
+from repro.geometry import Sphere
+from repro.math3d import Vec3
+
+pytestmark = pytest.mark.property
+
+RELAXED = settings(max_examples=25, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+# -- broadphase ---------------------------------------------------------
+
+_coord = st.floats(-15.0, 15.0, allow_nan=False, allow_infinity=False)
+_radius = st.floats(0.1, 4.0, allow_nan=False, allow_infinity=False)
+_geom_specs = st.lists(
+    st.tuples(_coord, _coord, _coord, _radius, st.booleans()),
+    min_size=0, max_size=40)
+
+
+def _make_geoms(specs):
+    geoms = []
+    for i, (x, y, z, r, static) in enumerate(specs):
+        body = Body(position=Vec3(x, y, z),
+                    mass=0.0 if static else 1.0)
+        g = Geom(Sphere(r), body=body)
+        g.index = i
+        geoms.append(g)
+    return geoms
+
+
+def _pair_set(pairs):
+    return {tuple(sorted((ga.index, gb.index))) for ga, gb in pairs}
+
+
+@RELAXED
+@given(specs=_geom_specs, moves=st.lists(st.tuples(_coord, _coord,
+                                                   _coord),
+                                         min_size=0, max_size=40))
+def test_sap_pairs_match_brute_force(specs, moves):
+    """Vectorized SAP emits exactly the brute-force AABB overlap set
+    (minus static-static), including on incremental re-sweeps."""
+    geoms = _make_geoms(specs)
+    fast = VectorSweepAndPrune()
+    scalar = SweepAndPrune()
+    for frame in range(2):
+        brute = _pair_set(BruteForceBroadphase().pairs(geoms))
+        assert _pair_set(fast.pairs(geoms)) == brute
+        assert _pair_set(scalar.pairs(geoms)) == brute
+        # Second frame exercises the incremental near-sorted path.
+        for g, (dx, dy, dz) in zip(geoms, moves):
+            g.body.position += Vec3(dx * 0.1, dy * 0.1, dz * 0.1)
+
+
+# -- PGS solver ---------------------------------------------------------
+
+def _build_island(seed, n_bodies, n_rows):
+    """Random bodies + rows; same seed -> bit-identical island."""
+    rng = random.Random(seed)
+    bodies = []
+    for _ in range(n_bodies):
+        mass = 0.0 if rng.random() < 0.2 else rng.uniform(0.5, 5.0)
+        b = Body(position=Vec3(rng.uniform(-2, 2), rng.uniform(-2, 2),
+                               rng.uniform(-2, 2)), mass=mass)
+        b.linear_velocity = Vec3(rng.uniform(-3, 3), rng.uniform(-3, 3),
+                                 rng.uniform(-3, 3))
+        b.angular_velocity = Vec3(rng.uniform(-2, 2),
+                                  rng.uniform(-2, 2),
+                                  rng.uniform(-2, 2))
+        bodies.append(b)
+
+    def vec():
+        return Vec3(rng.uniform(-1, 1), rng.uniform(-1, 1),
+                    rng.uniform(-1, 1))
+
+    rows = []
+    for _ in range(n_rows):
+        ia, ib = rng.sample(range(n_bodies), 2)
+        kind = rng.random()
+        if kind < 0.5:
+            # Contact normal + optional friction pair.
+            normal = Row(bodies[ia], bodies[ib], vec(), vec(), vec(),
+                         vec(), rhs=rng.uniform(-1, 1), lo=0.0,
+                         hi=float("inf"), cfm=rng.uniform(0.0, 1e-6))
+            rows.append(normal)
+            if rng.random() < 0.7:
+                rows.append(Row(bodies[ia], bodies[ib], vec(), vec(),
+                                vec(), vec(), rhs=0.0,
+                                friction_of=normal,
+                                friction_coeff=rng.uniform(0.1, 1.0)))
+        elif kind < 0.8:
+            # Bilateral (joint-style) row.
+            rows.append(Row(bodies[ia], bodies[ib], vec(), vec(),
+                            vec(), vec(), rhs=rng.uniform(-1, 1),
+                            cfm=rng.uniform(0.0, 1e-6)))
+        else:
+            lo = rng.uniform(-2, 0)
+            rows.append(Row(bodies[ia], bodies[ib], vec(), vec(),
+                            vec(), vec(), rhs=rng.uniform(-1, 1),
+                            lo=lo, hi=lo + rng.uniform(0.0, 3.0)))
+    return bodies, rows
+
+
+@RELAXED
+@given(seed=st.integers(0, 2**31 - 1), n_bodies=st.integers(2, 10),
+       n_rows=st.integers(0, 30), iterations=st.integers(1, 12),
+       strategy=st.sampled_from(["flat", "levels"]))
+def test_pgs_soa_matches_scalar(seed, n_bodies, n_rows, iterations,
+                                strategy):
+    """Both SoA strategies reproduce the scalar PGS sweep exactly:
+    same impulses, same body velocities, same SolveStats."""
+    bodies_s, rows_s = _build_island(seed, n_bodies, n_rows)
+    bodies_f, rows_f = _build_island(seed, n_bodies, n_rows)
+
+    stats_s = solve_island(rows_s, iterations)
+    stats_f = solve_island_soa(rows_f, iterations, strategy=strategy)
+
+    assert stats_s.rows == stats_f.rows
+    assert stats_s.iterations == stats_f.iterations
+    assert stats_s.row_updates == stats_f.row_updates
+    assert stats_s.max_delta == stats_f.max_delta
+    assert stats_s.residual == stats_f.residual
+    for rs, rf in zip(rows_s, rows_f):
+        assert rs.impulse == rf.impulse
+    for bs, bf in zip(bodies_s, bodies_f):
+        assert (bs.linear_velocity.x, bs.linear_velocity.y,
+                bs.linear_velocity.z) == (bf.linear_velocity.x,
+                                          bf.linear_velocity.y,
+                                          bf.linear_velocity.z)
+        assert (bs.angular_velocity.x, bs.angular_velocity.y,
+                bs.angular_velocity.z) == (bf.angular_velocity.x,
+                                           bf.angular_velocity.y,
+                                           bf.angular_velocity.z)
+
+
+@RELAXED
+@given(seed=st.integers(0, 2**31 - 1), n_bodies=st.integers(2, 8),
+       n_rows=st.integers(1, 20), iterations=st.integers(1, 10))
+def test_pgs_impulses_respect_bounds(seed, n_bodies, n_rows,
+                                     iterations):
+    """Projected impulses stay inside [lo, hi]; friction magnitudes
+    stay inside the cone set by their normal row's final impulse."""
+    _, rows = _build_island(seed, n_bodies, n_rows)
+    solve_island_soa(rows, iterations)
+    for row in rows:
+        if row.friction_of is not None:
+            bound = row.friction_coeff * row.friction_of.impulse
+            assert abs(row.impulse) <= bound + 1e-9
+        else:
+            assert row.lo - 1e-12 <= row.impulse <= row.hi + 1e-12
+        assert math.isfinite(row.impulse)
+
+
+# -- cloth --------------------------------------------------------------
+
+def _noisy_cloth(nx, ny, spacing, seed, pin):
+    cloth = Cloth(nx, ny, spacing, Vec3(0.0, 2.0, 0.0),
+                  pin_top_row=pin)
+    rng = random.Random(seed)
+    noise = np.array([[rng.uniform(-0.3, 0.3) * spacing
+                       for _ in range(3)]
+                      for _ in range(nx * ny)])
+    cloth.positions = cloth.positions + noise
+    return cloth
+
+
+@RELAXED
+@given(nx=st.integers(2, 7), ny=st.integers(2, 7),
+       spacing=st.floats(0.1, 0.5, allow_nan=False),
+       seed=st.integers(0, 2**31 - 1), pin=st.booleans())
+def test_cloth_relaxation_residual_non_increasing(nx, ny, spacing,
+                                                  seed, pin):
+    """A relaxation pass never worsens the worst constraint error."""
+    cloth = _noisy_cloth(nx, ny, spacing, seed, pin)
+    before = cloth.max_stretch()
+    for _ in range(cloth.ITERATIONS):
+        cloth._relax_once()
+    assert cloth.max_stretch() <= before + 1e-12
+
+
+@RELAXED
+@given(nx=st.integers(2, 7), ny=st.integers(2, 7),
+       spacing=st.floats(0.1, 0.5, allow_nan=False),
+       seed=st.integers(0, 2**31 - 1), pin=st.booleans())
+def test_fastpath_cloth_step_bit_identical(nx, ny, spacing, seed, pin):
+    """fastpath.step_cloth reproduces Cloth.step to the last bit."""
+    a = _noisy_cloth(nx, ny, spacing, seed, pin)
+    b = _noisy_cloth(nx, ny, spacing, seed, pin)
+    a.ground_height = b.ground_height = 1.0
+    gravity = Vec3(0.0, -9.81, 0.0)
+    for _ in range(3):
+        stats_a = a.step(1.0 / 240.0, gravity)
+        stats_b = fp_cloth.step_cloth(b, 1.0 / 240.0, gravity)
+        assert stats_a == stats_b
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.prev_positions, b.prev_positions)

@@ -138,3 +138,37 @@ class TestAcceptanceGauntlet:
         assert report.non_finite_bodies == 0
         assert report.non_finite_cloth_vertices == 0
         assert report.unrecovered_incidents == 0
+
+
+class TestNumpyBackendWatchdog:
+    """The escalation ladder must keep firing with backend="numpy":
+    the vectorized solver reports the same residuals, so divergence
+    detection and recovery behave exactly as on the scalar path."""
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_each_fault_recovers_on_numpy(self, kind):
+        schedule = FaultSchedule([Fault(6, kind)])
+        run = run_benchmark("explosions", scale=0.08, frames=10, seed=1,
+                            watchdog=True, fault_schedule=schedule,
+                            backend="numpy")
+        assert run.world.backend == "numpy"
+        assert run.injector.injected, "fault never landed"
+        assert len(run.health) >= 1, "watchdog never triggered"
+        assert run.health.unrecovered == 0
+        rungs = run.health.rungs_fired()
+        assert rungs and all(r in WatchdogConfig().ladder for r in rungs)
+        report = validate_world(run.world, health=run.health)
+        assert report.ok, report.summary()
+
+    def test_ladder_fires_identically_on_both_backends(self):
+        """Same seeded gauntlet, same incident log, either backend."""
+        fired = {}
+        for backend in ("scalar", "numpy"):
+            schedule = FaultSchedule.seeded(11, steps=10 * 3, count=3)
+            run = run_benchmark("explosions", scale=0.08, frames=10,
+                                seed=11, watchdog=True,
+                                fault_schedule=schedule,
+                                backend=backend)
+            assert run.health.unrecovered == 0
+            fired[backend] = run.health.rungs_fired()
+        assert fired["scalar"] == fired["numpy"]

@@ -1,0 +1,64 @@
+"""Golden-trajectory regression fixtures.
+
+Three Table 3 workloads have their full state trajectories checked in
+under ``tests/fixtures/``.  The test replays each workload under the
+session's active backend (``REPRO_BACKEND``; the CI matrix runs both)
+and demands *exact* equality with the fixture — JSON round-trips
+doubles through ``repr``, so equality here is bit-equality.  Any
+change to stepping arithmetic, on either backend, trips these.
+
+Regenerate deliberately with::
+
+    python -m pytest tests/test_golden.py --regen-golden
+"""
+
+import os
+
+import pytest
+
+from repro.engine.recorder import TrajectoryRecorder
+from repro.workloads.benchmarks import BENCHMARKS
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+GOLDEN = ("periodic", "ragdoll", "continuous")
+FRAMES = 8
+SCALE = 0.03
+
+
+def _record(name):
+    world, driver = BENCHMARKS[name].build(scale=SCALE, seed=0)
+    return TrajectoryRecorder(world).record(FRAMES, driver)
+
+
+def _normalized(trajectory):
+    """Rebase body uids on the recording's first body.
+
+    Uids come from a process-global counter, so their absolute values
+    depend on how many bodies earlier tests created; the offsets
+    within one recording are deterministic.
+    """
+    if not trajectory or not trajectory[0]:
+        return trajectory
+    base = trajectory[0][0][0]
+    return [[[state[0] - base] + list(state[1:]) for state in frame]
+            for frame in trajectory]
+
+
+@pytest.mark.parametrize("name", GOLDEN)
+def test_golden_trajectory(name, request):
+    path = os.path.join(FIXTURES, f"{name}.json")
+    rec = _record(name)
+    if request.config.getoption("--regen-golden"):
+        os.makedirs(FIXTURES, exist_ok=True)
+        rec.save_json(path)
+        pytest.skip(f"regenerated {path}")
+    assert os.path.exists(path), (
+        f"missing fixture {path}; run pytest --regen-golden")
+    golden = TrajectoryRecorder.load_json(path)
+    got = _normalized([[list(state) for state in frame]
+                       for frame in rec.frames])
+    assert golden["frames"] == len(rec.frames)
+    assert got == _normalized(golden["trajectory"]), (
+        f"{name}: trajectory deviates from golden fixture; if the "
+        f"change is intended, rerun with --regen-golden")
