@@ -13,6 +13,13 @@ scalar and numpy backends plus a packed :class:`BatchWorld` fleet:
     PYTHONPATH=src python scripts/perf_report.py --compare-backends \\
         --out BENCH_6.json
 
+``--lint`` emits the PaxLint static-analysis snapshot instead —
+finding counts per rule plus suppression totals — so the lint debt of
+every commit is tracked next to its performance numbers:
+
+    PYTHONPATH=src python scripts/perf_report.py --lint \\
+        --out BENCH_8.json
+
 ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_FRAMES`` (and, for the
 comparison, ``REPRO_BENCH_REPEATS`` / ``REPRO_BENCH_BATCH``) control
 the workload size exactly as they do for the benchmark suite.
@@ -195,6 +202,38 @@ def backend_comparison(scale, frames, repeats, batch_n):
     }
 
 
+def lint_snapshot():
+    """Run PaxLint over src/repro and summarize the result."""
+    import time as _time
+
+    from repro.lint import all_rules, lint_paths
+
+    root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src", "repro")
+    t0 = _time.perf_counter()
+    result = lint_paths([root])
+    seconds = _time.perf_counter() - t0
+
+    def by_rule(findings):
+        counts = {}
+        for f in findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    return {
+        "files": result.files,
+        "rules": [r.code for r in all_rules()],
+        "wall_seconds": seconds,
+        "new_findings": len(result.active),
+        "baselined_findings": len(result.baselined),
+        "suppressed_findings": len(result.suppressed),
+        "new_by_rule": by_rule(result.active),
+        "suppressed_by_rule": by_rule(result.suppressed),
+        "exit_code": result.exit_code,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=None)
@@ -208,6 +247,9 @@ def main(argv=None):
                         help="emit the scalar/numpy/BatchWorld frame-"
                              "time comparison (BENCH_6) instead of the"
                              " kernel microbench snapshot (BENCH_5)")
+    parser.add_argument("--lint", action="store_true",
+                        help="emit the PaxLint finding-count snapshot"
+                             " (BENCH_8) instead of timings")
     parser.add_argument("--repeats", type=int,
                         default=int(os.environ.get(
                             "REPRO_BENCH_REPEATS", "2")))
@@ -216,7 +258,15 @@ def main(argv=None):
                             "REPRO_BENCH_BATCH", "32")))
     args = parser.parse_args(argv)
 
-    if args.compare_backends:
+    if args.lint:
+        out = args.out or "BENCH_8.json"
+        report = {
+            "schema": "repro-lint-report/1",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "lint": lint_snapshot(),
+        }
+    elif args.compare_backends:
         out = args.out or "BENCH_6.json"
         report = {
             "schema": "repro-backend-comparison/1",

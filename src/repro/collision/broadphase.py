@@ -78,24 +78,24 @@ class SweepAndPrune(_StatsMixin):
 
     def pairs(self, geoms):
         live = [g for g in geoms if g.enabled]
-        live_set = set(id(g) for g in live)
-        order = [g for g in self._order if id(g) in live_set]
-        known = set(id(g) for g in order)
+        live_set = set(g.uid for g in live)
+        order = [g for g in self._order if g.uid in live_set]
+        known = set(g.uid for g in order)
         for g in live:
-            if id(g) not in known:
+            if g.uid not in known:
                 order.append(g)
 
         axis = self.axis
-        boxes = {id(g): g.aabb() for g in order}
+        boxes = {g.uid: g.aabb() for g in order}
 
         # Insertion sort: near-sorted from the previous frame.
         swaps = 0
-        keys = {id(g): boxes[id(g)].min[axis] for g in order}
+        keys = {g.uid: boxes[g.uid].min[axis] for g in order}
         for i in range(1, len(order)):
             g = order[i]
-            k = keys[id(g)]
+            k = keys[g.uid]
             j = i - 1
-            while j >= 0 and keys[id(order[j])] > k:
+            while j >= 0 and keys[order[j].uid] > k:
                 order[j + 1] = order[j]
                 j -= 1
                 swaps += 1
@@ -108,7 +108,7 @@ class SweepAndPrune(_StatsMixin):
         tests = 0
         active = []
         for g in order:
-            box = boxes[id(g)]
+            box = boxes[g.uid]
             lo = box.min[axis]
             active = [(other, obox) for other, obox in active
                       if obox.max[axis] >= lo]
@@ -152,16 +152,16 @@ class SpatialHashBroadphase(_StatsMixin):
 
     def pairs(self, geoms):
         live = [g for g in geoms if g.enabled]
-        boxes = {id(g): g.aabb() for g in live}
+        boxes = {g.uid: g.aabb() for g in live}
         # Unbounded geoms (planes, heightfields) are checked against
         # everything rather than hashed into every cell.
         unbounded = [g for g in live
-                     if boxes[id(g)].extents().x > 1e8]
-        bounded = [g for g in live if boxes[id(g)].extents().x <= 1e8]
+                     if boxes[g.uid].extents().x > 1e8]
+        bounded = [g for g in live if boxes[g.uid].extents().x <= 1e8]
 
         grid = {}
         for g in bounded:
-            for cell in self._cells(boxes[id(g)]):
+            for cell in self._cells(boxes[g.uid]):
                 grid.setdefault(cell, []).append(g)
 
         seen = set()
@@ -178,7 +178,7 @@ class SpatialHashBroadphase(_StatsMixin):
                         continue
                     seen.add(key)
                     tests += 1
-                    if boxes[id(gi)].overlaps(boxes[id(gj)]):
+                    if boxes[gi.uid].overlaps(boxes[gj.uid]):
                         out.append(_emit(gi, gj))
         for u in unbounded:
             for g in bounded:
@@ -189,7 +189,7 @@ class SpatialHashBroadphase(_StatsMixin):
                     continue
                 seen.add(key)
                 tests += 1
-                if boxes[id(u)].overlaps(boxes[id(g)]):
+                if boxes[u.uid].overlaps(boxes[g.uid]):
                     out.append(_emit(u, g))
         self.tests = tests
         out.sort(key=lambda p: (p[0].index, p[1].index))

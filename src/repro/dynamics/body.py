@@ -30,12 +30,18 @@ class Body:
         self.gravity_scale = 1.0
         # World-assigned dense index; uid is a global creation counter so
         # bodies order deterministically even before attachment.
+        # pax: ignore[PAX201]: structural slot in world.bodies; restore
+        # matches bodies positionally, so index never changes under it.
         self.index = -1
+        # pax: ignore[PAX201]: snapshotted, and *verified* (never
+        # overwritten) by WorldSnapshot.restore's uid match check.
         self.uid = Body._next_uid
         Body._next_uid += 1
 
         self.set_mass(mass, Mat3.diagonal(0.4 * mass, 0.4 * mass,
                                           0.4 * mass))
+        # pax: ignore[PAX201]: derived cache (R I^-1 R^T), invalidated
+        # on every pose write and lazily rebuilt; never authoritative.
         self._inv_inertia_world = None
 
     def __repr__(self):

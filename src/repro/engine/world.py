@@ -66,13 +66,19 @@ class WorldConfig:
 
 class World:
     def __init__(self, config: WorldConfig = None, backend: str = None):
+        # pax: ignore[PAX201]: construction-time tunables; a snapshot
+        # only restores into the same (or identically built) scene.
         self.config = config if config is not None else WorldConfig()
         # ``backend`` picks the engine kernels: ``"scalar"`` runs the
         # reference per-object code below, ``"numpy"`` swaps in the
         # bit-identical SoA kernels from ``repro.fastpath``.  ``None``
         # defers to ``fastpath.default_backend()`` / $REPRO_BACKEND.
+        # pax: ignore[PAX201]: structural choice fixed at construction;
+        # both backends replay snapshots bit-identically by contract.
         self.backend = resolve_backend(backend)
         if self.backend == "numpy" and self.config.broadphase == "sap":
+            # pax: ignore[PAX201]: sort order re-converges from geom
+            # AABBs in one sweep; proven by the restore replay tests.
             self.broadphase = VectorSweepAndPrune()
         else:
             self.broadphase = BROADPHASES[self.config.broadphase]()
@@ -81,6 +87,8 @@ class World:
         self.joints = []
         self.cloths = []
         self.explosions = []
+        # pax: ignore[PAX201]: live view of _prefracture_registry
+        # (which is captured); restore rebuilds it from the registry.
         self.prefractured = []
         # Every prefractured entry ever registered; ``prefractured``
         # holds only the untriggered ones (spent entries are pruned from
@@ -90,6 +98,8 @@ class World:
         # Stateful scene actors (cannons, ...) that must roll back with
         # the world for checkpoint/restore to replay bit-identically.
         self.actors = []
+        # pax: ignore[PAX201]: per-frame scratch; step_frame() installs
+        # a fresh FrameReport before any step reads it.
         self.report = None
         self.frame_index = 0
         self.step_index = 0
@@ -98,11 +108,18 @@ class World:
         self._impulse_cache = {}
         self._contacted_bodies = set()  # uids touched last step
         # Per-step health signals read by repro.resilience.StepWatchdog.
+        # Each is fully overwritten by the next step before any read,
+        # so a restored world regenerates them on its first step.
+        # pax: ignore[PAX201]: per-step watchdog scratch (see above)
         self.last_max_penetration = 0.0
+        # pax: ignore[PAX201]: per-step watchdog scratch (see above)
         self.last_penetration_uids = ()
+        # pax: ignore[PAX201]: per-step watchdog scratch (see above)
         self.last_island_residuals = []  # [(residual, [body uids])]
+        # pax: ignore[PAX201]: per-step watchdog scratch (see above)
         self.last_solver_residual = 0.0
-        self.last_blast_bodies = 0  # bodies pushed by explosions this step
+        # pax: ignore[PAX201]: per-step watchdog scratch (see above)
+        self.last_blast_bodies = 0  # bodies pushed by explosions
 
     # -- construction ---------------------------------------------------
     def add_body(self, body):

@@ -28,6 +28,37 @@ import os
 
 BACKENDS = ("scalar", "numpy")
 
+#: Vectorized kernel -> the named scalar oracle it must stay
+#: bit-identical to.  PaxLint's PAX202 cross-checks both sides of
+#: every entry against the ASTs (and that every public fastpath
+#: kernel appears here), so renaming either end fails lint instead of
+#: silently shrinking differential-test coverage.  Keys are
+#: ``"<module>.<kernel>"`` within this package; values are dotted
+#: ``repro.*`` paths to a function or ``Class.method``.
+SCALAR_COUNTERPARTS = {
+    "batch.BatchWorld.step": "repro.engine.world.World.step",
+    "batch.BatchWorld.step_frame":
+        "repro.engine.world.World.step_frame",
+    "bodies.apply_forces": "repro.engine.world.World._apply_forces",
+    "bodies.integrate": "repro.engine.world.World._integrate",
+    "broadphase.VectorSweepAndPrune.pairs":
+        "repro.collision.broadphase.SweepAndPrune.pairs",
+    "broadphase.fill_aabbs": "repro.collision.geom.Geom.aabb",
+    "ccd.sweep_clamp": "repro.collision.ccd.sweep_clamp",
+    "cloth.step_cloth": "repro.cloth.Cloth.step",
+    "joints.build_joint_rows":
+        "repro.dynamics.joints.Joint.begin_step",
+    "narrowphase.collide_pairs":
+        "repro.collision.narrowphase.collide",
+    "rows.build_contact_rows":
+        "repro.dynamics.joints.ContactJoint.begin_step",
+    "solver.solve_island_soa": "repro.dynamics.solver.solve_island",
+    "solver.solve_islands": "repro.dynamics.solver.solve_island",
+}
+
+# pax: ignore[PAX107]: harness-scoped backend override stack; pushed/
+# popped only by the default_backend() context manager around world
+# construction, never read inside the step path.
 _override_stack = []
 
 
@@ -67,6 +98,7 @@ from .batch import BatchWorld  # noqa: E402
 __all__ = [
     "BACKENDS",
     "BatchWorld",
+    "SCALAR_COUNTERPARTS",
     "default_backend",
     "resolve_backend",
     "solve_island_soa",

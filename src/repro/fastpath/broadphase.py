@@ -164,11 +164,11 @@ class VectorSweepAndPrune(_StatsMixin):
 
     def pairs(self, geoms):
         live = [g for g in geoms if g.enabled]
-        live_set = set(id(g) for g in live)
-        order = [g for g in self._order if id(g) in live_set]
-        known = set(id(g) for g in order)
+        live_set = set(g.uid for g in live)
+        order = [g for g in self._order if g.uid in live_set]
+        known = set(g.uid for g in order)
         for g in live:
-            if id(g) not in known:
+            if g.uid not in known:
                 order.append(g)
 
         n = len(order)

@@ -64,24 +64,24 @@ class _Cache:
         self.corners = {}
 
     def transform(self, g):
-        t = self.tf.get(id(g))
+        t = self.tf.get(g.uid)
         if t is None:
-            t = self.tf[id(g)] = g.transform
+            t = self.tf[g.uid] = g.transform
         return t
 
     def box_axes(self, g):
-        ax = self.axes.get(id(g))
+        ax = self.axes.get(g.uid)
         if ax is None:
             rot = self.transform(g).orientation.to_mat3()
-            ax = self.axes[id(g)] = [rot.column(0), rot.column(1),
+            ax = self.axes[g.uid] = [rot.column(0), rot.column(1),
                                      rot.column(2)]
         return ax
 
     def world_corners(self, g):
-        cs = self.corners.get(id(g))
+        cs = self.corners.get(g.uid)
         if cs is None:
             tf = self.transform(g)
-            cs = self.corners[id(g)] = [tf.apply(c)
+            cs = self.corners[g.uid] = [tf.apply(c)
                                         for c in g.shape.corners()]
         return cs
 

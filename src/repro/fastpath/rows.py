@@ -143,9 +143,9 @@ def build_contact_rows(contact_joints, dt, erp, cache):
     def bslot(body):
         if body is None:
             return 0
-        s = body_idx.get(id(body))
+        s = body_idx.get(body.uid)
         if s is None:
-            s = body_idx[id(body)] = len(b_pos)
+            s = body_idx[body.uid] = len(b_pos)
             p = body.position
             b_pos.append((p.x, p.y, p.z))
             if body.is_static:

@@ -87,9 +87,9 @@ class PackedRows:
         def slot(body):
             if body is None:
                 return -1
-            s = slot_of.get(id(body))
+            s = slot_of.get(body.uid)
             if s is None:
-                s = slot_of[id(body)] = len(bodies)
+                s = slot_of[body.uid] = len(bodies)
                 bodies.append(body)
                 v, w = body.linear_velocity, body.angular_velocity
                 vel.append([v.x, v.y, v.z, w.x, w.y, w.z])
@@ -110,11 +110,11 @@ class PackedRows:
         data = []
         impulses = []
         for k, r in enumerate(rows):
-            row_index[id(r)] = k
+            row_index[r] = k
             ia = slot(r.body_a)
             ib = slot(r.body_b)
             fr = (-1 if r.friction_of is None
-                  else row_index[id(r.friction_of)])
+                  else row_index[r.friction_of])
             la, aa, lb, ab = r.lin_a, r.ang_a, r.lin_b, r.ang_b
             data.append((
                 k, ia, ib,
@@ -135,6 +135,8 @@ class PackedRows:
         self.n_levels = 0
 
     # -- scheduling -----------------------------------------------------
+    # pax: ignore[PAX202]: SoA packing/scheduling machinery; the scalar
+    # oracle for its output is solve_island via solve_islands.
     def build_levels(self):
         """Group rows into dependency levels (see module docstring)."""
         if self.levels is not None:
@@ -169,6 +171,8 @@ class PackedRows:
         self.n_levels = len(levels)
         return levels
 
+    # pax: ignore[PAX202]: diagnostic statistic over the packed rows;
+    # reported only, never fed back into the simulation.
     def mean_level_width(self) -> float:
         self.build_levels()
         if not self.n_levels:
@@ -176,6 +180,8 @@ class PackedRows:
         return len(self.rows) / self.n_levels
 
     # -- scatter --------------------------------------------------------
+    # pax: ignore[PAX202]: inverse of the pack step above; covered by
+    # the solve_islands <-> solve_island differential identity.
     def writeback(self):
         """Write solved impulses and body velocities back to objects."""
         from ..math3d import Vec3

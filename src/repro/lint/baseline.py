@@ -1,0 +1,74 @@
+"""The committed findings baseline.
+
+The baseline lets the linter be adopted (or a new rule be shipped)
+without blocking CI on a pre-existing backlog: known findings are
+parked in ``paxlint.baseline.json`` and only **new** findings fail the
+run.  Entries match on ``(rule, path, message)`` — never line numbers —
+so unrelated edits don't churn the file.  The repo's policy is a
+*clean* baseline (the PR-8 sweep fixed or suppressed everything); the
+machinery stays so future rules can land before their sweep does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+DEFAULT_BASELINE = "paxlint.baseline.json"
+_SCHEMA = "paxlint-baseline/1"
+
+
+class Baseline:
+    """Multiset of known findings keyed line-independently."""
+
+    def __init__(self, counts: Dict[Tuple[str, str, str], int]):
+        self.counts = counts
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        if data.get("schema") != _SCHEMA:
+            raise ValueError(
+                f"unrecognized baseline schema in {path}: "
+                f"{data.get('schema')!r}")
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for entry in data.get("findings", []):
+            key = (entry["rule"], entry["path"], entry["message"])
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = finding.key()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    def save(self, path: str) -> None:
+        entries = [
+            {"rule": rule, "path": rel, "message": message,
+             "count": count}
+            for (rule, rel, message), count in sorted(self.counts.items())
+        ]
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"schema": _SCHEMA, "findings": entries}, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def absorb(self, findings: List[Finding]) -> None:
+        """Mark findings present in the baseline (mutates in order, so
+        N baselined entries absorb the first N matching findings)."""
+        budget = dict(self.counts)
+        for finding in findings:
+            key = finding.key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                finding.baselined = True

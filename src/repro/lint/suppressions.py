@@ -1,0 +1,110 @@
+"""Inline suppressions: ``# pax: ignore[PAXNNN]: reason``.
+
+A suppression silences one or more rule codes on the line it occupies,
+or — when it is a standalone comment line — on the next code line
+(hand-wrapped 79-column code can't always fit a justification at the
+end of the offending statement).  The reason string is **mandatory and
+non-empty**: an unexcused suppression is itself a finding (PAX001), so
+every exception to the determinism rules carries its rationale in the
+diff forever.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+from .sources import SourceFile
+
+#: ``# pax: ignore[PAX101]: reason`` / ``# pax: ignore[PAX101, PAX105]: ...``
+_PAX_RE = re.compile(
+    r"#\s*pax:\s*ignore\s*\[(?P<codes>[^\]]*)\]\s*(?::\s*(?P<reason>.*))?$")
+_CODE_RE = re.compile(r"^PAX\d{3}$")
+
+
+class Suppression:
+    """One parsed suppression comment."""
+
+    __slots__ = ("codes", "reason", "line", "used")
+
+    def __init__(self, codes: List[str], reason: str, line: int):
+        self.codes = codes
+        self.reason = reason
+        self.line = line
+        self.used = False
+
+
+def parse_suppressions(
+        src: SourceFile,
+        known_codes: Tuple[str, ...],
+) -> Tuple[Dict[int, Suppression], List[Finding]]:
+    """Map *effective* line -> suppression, plus PAX001 findings.
+
+    The effective line of a standalone suppression comment is the next
+    non-comment line, so rationales can sit above wrapped statements.
+    """
+    by_line: Dict[int, Suppression] = {}
+    problems: List[Finding] = []
+    for lineno in sorted(src.comments):
+        match = _PAX_RE.search(src.comments[lineno])
+        if match is None:
+            continue
+        codes = [c.strip() for c in match.group("codes").split(",")
+                 if c.strip()]
+        reason = (match.group("reason") or "").strip()
+        bad = [c for c in codes if not _CODE_RE.match(c)]
+        unknown = [c for c in codes
+                   if _CODE_RE.match(c) and c not in known_codes]
+        if not codes:
+            problems.append(Finding(
+                "PAX001", src.path, lineno,
+                "suppression lists no rule codes"))
+            continue
+        if bad:
+            problems.append(Finding(
+                "PAX001", src.path, lineno,
+                f"malformed rule code(s) {', '.join(sorted(bad))} in "
+                f"suppression (expected PAXNNN)"))
+            continue
+        if unknown:
+            problems.append(Finding(
+                "PAX001", src.path, lineno,
+                f"unknown rule code(s) {', '.join(sorted(unknown))} "
+                f"in suppression"))
+            continue
+        if not reason:
+            problems.append(Finding(
+                "PAX001", src.path, lineno,
+                f"suppression of {', '.join(codes)} has no reason; "
+                f"write '# pax: ignore[CODE]: why it is safe'"))
+            continue
+        effective = lineno
+        if lineno in src.standalone_comment_lines:
+            effective = _next_code_line(src, lineno)
+        by_line[effective] = Suppression(codes, reason, lineno)
+    return by_line, problems
+
+
+def _next_code_line(src: SourceFile, lineno: int) -> int:
+    total = len(src.lines)
+    cur = lineno + 1
+    while cur <= total:
+        stripped = src.lines[cur - 1].strip()
+        if stripped and not stripped.startswith("#"):
+            return cur
+        cur += 1
+    return lineno
+
+
+def apply_suppressions(
+        findings: List[Finding],
+        by_line: Dict[int, Suppression],
+) -> None:
+    """Mark findings covered by a suppression on their anchor line."""
+    for finding in findings:
+        sup = by_line.get(finding.line)
+        if sup is not None and finding.rule in sup.codes:
+            finding.suppressed = True
+            finding.suppress_reason = sup.reason
+            sup.used = True

@@ -7,18 +7,21 @@ ODE's dMass* helpers.
 from __future__ import annotations
 
 import math
+from typing import Any, Tuple
 
 from .mat3 import Mat3
 from .vec3 import Vec3
 
+MassInertia = Tuple[float, Mat3]
 
-def sphere_inertia(radius: float, density: float):
+
+def sphere_inertia(radius: float, density: float) -> MassInertia:
     mass = density * (4.0 / 3.0) * math.pi * radius ** 3
     i = 0.4 * mass * radius * radius
     return mass, Mat3.diagonal(i, i, i)
 
 
-def box_inertia(half_extents: Vec3, density: float):
+def box_inertia(half_extents: Vec3, density: float) -> MassInertia:
     dx, dy, dz = (2 * half_extents.x, 2 * half_extents.y,
                   2 * half_extents.z)
     mass = density * dx * dy * dz
@@ -30,7 +33,8 @@ def box_inertia(half_extents: Vec3, density: float):
     )
 
 
-def capsule_inertia(radius: float, length: float, density: float):
+def capsule_inertia(radius: float, length: float,
+                    density: float) -> MassInertia:
     """Capsule aligned with the local y axis; ``length`` is the
     cylindrical section (total height = length + 2*radius)."""
     r2 = radius * radius
@@ -48,13 +52,13 @@ def capsule_inertia(radius: float, length: float, density: float):
     return mass, Mat3.diagonal(i_trans, i_axial, i_trans)
 
 
-def point_mass_inertia(mass: float, radius: float = 0.1):
+def point_mass_inertia(mass: float, radius: float = 0.1) -> MassInertia:
     """Fallback: treat as a solid sphere of the given radius."""
     i = 0.4 * mass * radius * radius
     return mass, Mat3.diagonal(i, i, i)
 
 
-def shape_mass_inertia(shape, density: float):
+def shape_mass_inertia(shape: Any, density: float) -> MassInertia:
     """Dispatch on shape kind (duck-typed to avoid circular imports)."""
     kind = getattr(shape, "kind", None)
     if kind == "sphere":

@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
+from typing import List, Optional, Sequence, Union, overload
+
 from .vec3 import Vec3
 
 
 class Mat3:
     __slots__ = ("m",)
 
-    def __init__(self, rows=None):
+    m: List[List[float]]
+
+    def __init__(
+            self,
+            rows: Optional[Sequence[Sequence[float]]] = None) -> None:
         if rows is None:
             self.m = [
                 [1.0, 0.0, 0.0],
@@ -38,10 +44,10 @@ class Mat3:
             [c0.z, c1.z, c2.z],
         ])
 
-    def __getitem__(self, idx):
+    def __getitem__(self, idx: int) -> List[float]:
         return self.m[idx]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Mat3({self.m})"
 
     def row(self, i: int) -> Vec3:
@@ -71,7 +77,18 @@ class Mat3:
     def scaled(self, s: float) -> "Mat3":
         return Mat3([[v * s for v in row] for row in self.m])
 
-    def __mul__(self, other):
+    @overload
+    def __mul__(self, other: Vec3) -> Vec3: ...
+
+    @overload
+    def __mul__(self, other: "Mat3") -> "Mat3": ...
+
+    @overload
+    def __mul__(self, other: float) -> "Mat3": ...
+
+    def __mul__(
+            self,
+            other: Union[Vec3, "Mat3", float]) -> Union[Vec3, "Mat3"]:
         if isinstance(other, Vec3):
             m = self.m
             return Vec3(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from typing import Tuple
 
 from .mat3 import Mat3
 from .vec3 import Vec3
@@ -11,8 +12,13 @@ from .vec3 import Vec3
 class Quaternion:
     __slots__ = ("w", "x", "y", "z")
 
+    w: float
+    x: float
+    y: float
+    z: float
+
     def __init__(self, w: float = 1.0, x: float = 0.0, y: float = 0.0,
-                 z: float = 0.0):
+                 z: float = 0.0) -> None:
         self.w = float(w)
         self.x = float(x)
         self.y = float(y)
@@ -38,11 +44,11 @@ class Quaternion:
         q = q * Quaternion.from_axis_angle(Vec3(0, 0, 1), roll)
         return q.normalized()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (f"Quaternion({self.w:.6g}, {self.x:.6g}, {self.y:.6g},"
                 f" {self.z:.6g})")
 
-    def __eq__(self, o):
+    def __eq__(self, o: object) -> bool:
         return (isinstance(o, Quaternion) and self.w == o.w
                 and self.x == o.x and self.y == o.y and self.z == o.z)
 
@@ -111,7 +117,7 @@ class Quaternion:
             self.z + dq.z * half,
         ).normalized()
 
-    def to_axis_angle(self):
+    def to_axis_angle(self) -> Tuple[Vec3, float]:
         q = self.normalized()
         if q.w < 0:
             q = Quaternion(-q.w, -q.x, -q.y, -q.z)

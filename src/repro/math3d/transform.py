@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .quaternion import Quaternion
 from .vec3 import Vec3
 
@@ -9,7 +11,11 @@ from .vec3 import Vec3
 class Transform:
     __slots__ = ("position", "orientation")
 
-    def __init__(self, position: Vec3 = None, orientation: Quaternion = None):
+    position: Vec3
+    orientation: Quaternion
+
+    def __init__(self, position: Optional[Vec3] = None,
+                 orientation: Optional[Quaternion] = None) -> None:
         self.position = position if position is not None else Vec3()
         self.orientation = (orientation if orientation is not None
                             else Quaternion.identity())
@@ -18,7 +24,7 @@ class Transform:
     def identity() -> "Transform":
         return Transform()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Transform({self.position!r}, {self.orientation!r})"
 
     def apply(self, local_point: Vec3) -> Vec3:

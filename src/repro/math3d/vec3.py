@@ -8,12 +8,18 @@ operation bit-deterministic across runs, which the determinism checker
 from __future__ import annotations
 
 import math
+from typing import Iterator, Sequence
 
 
 class Vec3:
     __slots__ = ("x", "y", "z")
 
-    def __init__(self, x: float = 0.0, y: float = 0.0, z: float = 0.0):
+    x: float
+    y: float
+    z: float
+
+    def __init__(self, x: float = 0.0, y: float = 0.0,
+                 z: float = 0.0) -> None:
         self.x = float(x)
         self.y = float(y)
         self.z = float(z)
@@ -24,7 +30,7 @@ class Vec3:
         return Vec3(0.0, 0.0, 0.0)
 
     @staticmethod
-    def from_seq(seq) -> "Vec3":
+    def from_seq(seq: Sequence[float]) -> "Vec3":
         return Vec3(seq[0], seq[1], seq[2])
 
     def copy(self) -> "Vec3":
@@ -49,7 +55,7 @@ class Vec3:
     def __neg__(self) -> "Vec3":
         return Vec3(-self.x, -self.y, -self.z)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         yield self.x
         yield self.y
         yield self.z
@@ -57,13 +63,13 @@ class Vec3:
     def __getitem__(self, i: int) -> float:
         return (self.x, self.y, self.z)[i]
 
-    def __eq__(self, o) -> bool:
+    def __eq__(self, o: object) -> bool:
         return (
             isinstance(o, Vec3)
             and self.x == o.x and self.y == o.y and self.z == o.z
         )
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash((self.x, self.y, self.z))
 
     def __repr__(self) -> str:

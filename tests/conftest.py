@@ -1,4 +1,5 @@
-"""Make ``src/`` importable whether or not PYTHONPATH is set."""
+"""Make ``src/`` importable whether or not PYTHONPATH is set, and pin
+the Hypothesis execution profiles."""
 
 import os
 import sys
@@ -6,6 +7,26 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+try:
+    from hypothesis import settings
+    from hypothesis import Verbosity
+except ImportError:  # property tests are skipped without hypothesis
+    settings = None
+
+if settings is not None:
+    # CI must be reproducible run-to-run: derandomize derives every
+    # example from the test body itself, so a red CI run is replayable
+    # locally with no seed hunting.  Locally we keep true randomness
+    # for coverage, but print the failing example blob so a repro is
+    # one @reproduce_failure away.
+    settings.register_profile("ci", derandomize=True,
+                              print_blob=True, max_examples=100)
+    settings.register_profile("dev", print_blob=True,
+                              verbosity=Verbosity.normal)
+    settings.load_profile(
+        "ci" if os.environ.get("CI") else
+        os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def pytest_addoption(parser):

@@ -167,6 +167,12 @@ def test_pgs_impulses_respect_bounds(seed, n_bodies, n_rows,
     _, rows = _build_island(seed, n_bodies, n_rows)
     solve_island_soa(rows, iterations)
     for row in rows:
+        if row.inv_k == 0.0:
+            # Degenerate row (e.g. static-static pair): solve_once
+            # bails before projecting, so impulse stays 0 even when
+            # 0 is outside [lo, hi].  Both backends agree on this.
+            assert row.impulse == 0.0
+            continue
         if row.friction_of is not None:
             bound = row.friction_coeff * row.friction_of.impulse
             assert abs(row.impulse) <= bound + 1e-9
