@@ -20,6 +20,15 @@ every commit is tracked next to its performance numbers:
     PYTHONPATH=src python scripts/perf_report.py --lint \\
         --out BENCH_8.json
 
+``--serve`` runs the sharded simulation service load test
+(``repro.serve.loadtest``) at smoke scale and records throughput, p95
+frame time, and the migration bit-identity verdict:
+
+    PYTHONPATH=src python scripts/perf_report.py --serve \\
+        --out BENCH_9.json
+
+``REPRO_SERVE_SESSIONS`` / ``REPRO_SERVE_WORKERS`` /
+``REPRO_SERVE_FRAMES`` size the serve run.
 ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_FRAMES`` (and, for the
 comparison, ``REPRO_BENCH_REPEATS`` / ``REPRO_BENCH_BATCH``) control
 the workload size exactly as they do for the benchmark suite.
@@ -202,6 +211,29 @@ def backend_comparison(scale, frames, repeats, batch_n):
     }
 
 
+def serve_snapshot(sessions, workers, frames):
+    """Run the serve load test and fold its numbers into the report.
+
+    Delegates to ``repro.serve.loadtest`` so the artifact matches what
+    ``python -m repro.serve.loadtest`` emits, wrapped with the same
+    schema/platform envelope as the other BENCH files.
+    """
+    import asyncio
+
+    from repro.serve.loadtest import build_parser, run_loadtest
+
+    opts = build_parser().parse_args([
+        "--sessions", str(sessions), "--workers", str(workers),
+        "--frames", str(frames)])
+    report = asyncio.run(run_loadtest(opts))
+    summary = report["frame_time_summary"]
+    print(f"serve: {sessions} sessions / {workers} workers "
+          f"{report['throughput_fps']:.1f} fps "
+          f"p95={summary['p95_s'] * 1e3:.2f}ms "
+          f"migration_divergence={report['migration']['divergence']}")
+    return report
+
+
 def lint_snapshot():
     """Run PaxLint over src/repro and summarize the result."""
     import time as _time
@@ -250,6 +282,19 @@ def main(argv=None):
     parser.add_argument("--lint", action="store_true",
                         help="emit the PaxLint finding-count snapshot"
                              " (BENCH_8) instead of timings")
+    parser.add_argument("--serve", action="store_true",
+                        help="emit the sharded-service load-test "
+                             "snapshot (BENCH_9): throughput, p95 "
+                             "frame time, migration bit-identity")
+    parser.add_argument("--serve-sessions", type=int,
+                        default=int(os.environ.get(
+                            "REPRO_SERVE_SESSIONS", "24")))
+    parser.add_argument("--serve-workers", type=int,
+                        default=int(os.environ.get(
+                            "REPRO_SERVE_WORKERS", "2")))
+    parser.add_argument("--serve-frames", type=int,
+                        default=int(os.environ.get(
+                            "REPRO_SERVE_FRAMES", "6")))
     parser.add_argument("--repeats", type=int,
                         default=int(os.environ.get(
                             "REPRO_BENCH_REPEATS", "2")))
@@ -258,7 +303,17 @@ def main(argv=None):
                             "REPRO_BENCH_BATCH", "32")))
     args = parser.parse_args(argv)
 
-    if args.lint:
+    if args.serve:
+        out = args.out or "BENCH_9.json"
+        report = {
+            "schema": "repro-serve-loadtest/1",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "serve": serve_snapshot(args.serve_sessions,
+                                    args.serve_workers,
+                                    args.serve_frames),
+        }
+    elif args.lint:
         out = args.out or "BENCH_8.json"
         report = {
             "schema": "repro-lint-report/1",

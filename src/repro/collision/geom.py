@@ -35,6 +35,33 @@ class Geom:
         """Stable geom id (alias of ``uid``; survives re-indexing)."""
         return self.uid
 
+    def build_state(self) -> dict:
+        """JSON-native construction record (shape, material, body slot).
+
+        Complements :meth:`Body.snapshot_state`: together they let a
+        :class:`~repro.resilience.WorldSnapshot` be restored into a
+        *fresh* build of the same scene, reconstructing geoms that were
+        spawned after the build (cannon shells, debris) instead of
+        requiring them to pre-exist. ``body`` is the owning body's dense
+        world slot (or ``None`` for static geoms); ``collision_group``
+        tuples flatten to lists on the JSON wire and are re-tupled on
+        reconstruction.
+        """
+        t = self.static_transform
+        p, q = t.position, t.orientation
+        group = self.collision_group
+        if isinstance(group, tuple):
+            group = list(group)
+        return {
+            "uid": self.uid,
+            "body": self.body.index if self.body is not None else None,
+            "shape": self.shape.to_dict(),
+            "friction": self.friction,
+            "restitution": self.restitution,
+            "collision_group": group,
+            "static_transform": [p.x, p.y, p.z, q.w, q.x, q.y, q.z],
+        }
+
     @property
     def is_static(self) -> bool:
         return self.body is None or self.body.is_static

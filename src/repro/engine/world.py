@@ -11,6 +11,8 @@ counts into ``world.report``; ``step_frame()`` bundles the paper's
 
 from __future__ import annotations
 
+import warnings
+
 from ..collision import BROADPHASES, Geom, collide
 from ..collision import ccd as ccd_mod
 from ..dynamics import ContactJoint, build_islands, solve_island
@@ -63,9 +65,71 @@ class WorldConfig:
         self.max_contacts_per_pair = max_contacts_per_pair
         self.world_bounds = world_bounds
 
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-native form (gravity as ``[x, y, z]``); the config half
+        of the :class:`repro.api.SessionSpec` wire format."""
+        g = self.gravity
+        out = {name: getattr(self, name) for name in self.field_names()}
+        if isinstance(g, Vec3):
+            out["gravity"] = [g.x, g.y, g.z]
+        else:  # tuples are accepted wherever Vec3 is
+            out["gravity"] = [float(c) for c in g]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorldConfig":
+        data = dict(data)
+        gravity = data.pop("gravity", None)
+        if gravity is not None:
+            data["gravity"] = Vec3(*gravity)
+        return cls(**data)
+
+    def replace(self, **overrides) -> "WorldConfig":
+        """A copy with ``overrides`` applied (``dataclasses.replace``
+        idiom; raises on unknown field names)."""
+        data = self.to_dict()
+        unknown = set(overrides) - set(data)
+        if unknown:
+            raise TypeError(
+                f"unknown WorldConfig fields: {sorted(unknown)}")
+        data.update(overrides)
+        if isinstance(data["gravity"], Vec3):
+            g = data["gravity"]
+            data["gravity"] = [g.x, g.y, g.z]
+        return WorldConfig.from_dict(data)
+
+    @staticmethod
+    def field_names() -> tuple:
+        return ("gravity", "dt", "substeps_per_frame", "solver_iterations",
+                "erp", "warm_starting", "broadphase", "auto_sleep",
+                "sleep_linear_threshold", "sleep_angular_threshold",
+                "sleep_time", "linear_damping", "angular_damping",
+                "max_contacts_per_pair", "world_bounds")
+
 
 class World:
-    def __init__(self, config: WorldConfig = None, backend: str = None):
+    def __init__(self, config: WorldConfig = None, backend: str = None,
+                 **legacy_tunables):
+        if legacy_tunables:
+            # Pre-session API: ``World(gravity=..., dt=...)`` built the
+            # config implicitly. Kept as a shim for one release; pass
+            # ``config=WorldConfig(...)`` or use ``repro.api.Session``.
+            unknown = (set(legacy_tunables)
+                       - set(WorldConfig.field_names()))
+            if unknown:
+                raise TypeError(
+                    f"unknown World tunables: {sorted(unknown)}")
+            if config is not None:
+                raise TypeError(
+                    "pass tunables via config=WorldConfig(...), not "
+                    "alongside config=")
+            warnings.warn(
+                "World(**tunables) is deprecated and will be removed in "
+                "the next release; pass config=WorldConfig(...) or use "
+                "repro.api.Session.create(SessionSpec(...))",
+                DeprecationWarning, stacklevel=2)
+            config = WorldConfig(**legacy_tunables)
         # pax: ignore[PAX201]: construction-time tunables; a snapshot
         # only restores into the same (or identically built) scene.
         self.config = config if config is not None else WorldConfig()

@@ -30,11 +30,34 @@ class BatchWorld:
     to stepping the worlds one by one (still correct, just unbatched).
     """
 
-    def __init__(self, worlds):
+    def __init__(self, worlds=()):
         self.worlds = list(worlds)
 
     def __len__(self):
         return len(self.worlds)
+
+    # -- membership -----------------------------------------------------
+    # Packing happens per step (``step`` re-derives spans from the
+    # current roster), so joining or leaving between steps is exact: the
+    # remaining worlds' islands still see only their own rows, in the
+    # same order as before. That's what makes the batch the unit of a
+    # serve shard — sessions come and go without a rebuild.
+
+    # pax: ignore[PAX202]: membership bookkeeping, not a kernel; the
+    # numerical path it feeds (step) is differentially tested.
+    def add_world(self, world):
+        """Join ``world`` to the fleet (steps with the next call)."""
+        if world in self.worlds:
+            raise ValueError("world already in batch")
+        self.worlds.append(world)
+        return world
+
+    # pax: ignore[PAX202]: membership bookkeeping, not a kernel; the
+    # numerical path it feeds (step) is differentially tested.
+    def remove_world(self, world):
+        """Drop ``world`` from the fleet, preserving the others' order."""
+        self.worlds.remove(world)
+        return world
 
     def _batchable(self) -> bool:
         if not self.worlds:

@@ -22,6 +22,10 @@ class Shape:
     def bounding_radius(self) -> float:
         raise NotImplementedError
 
+    def to_dict(self) -> dict:
+        """JSON-native construction record (see ``shape_from_dict``)."""
+        raise NotImplementedError
+
 
 class Sphere(Shape):
     kind = "sphere"
@@ -44,6 +48,9 @@ class Sphere(Shape):
 
     def volume(self) -> float:
         return (4.0 / 3.0) * math.pi * self.radius ** 3
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "radius": self.radius}
 
 
 class Box(Shape):
@@ -92,6 +99,10 @@ class Box(Shape):
         h = self.half_extents
         return 8.0 * h.x * h.y * h.z
 
+    def to_dict(self) -> dict:
+        h = self.half_extents
+        return {"kind": self.kind, "half_extents": [h.x, h.y, h.z]}
+
 
 class Capsule(Shape):
     """Capsule along the local y axis (cylinder of ``length`` + caps)."""
@@ -123,6 +134,10 @@ class Capsule(Shape):
     def bounding_radius(self) -> float:
         return 0.5 * self.length + self.radius
 
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "radius": self.radius,
+                "length": self.length}
+
 
 class Plane(Shape):
     """Infinite static half-space: points with normal.p <= offset are
@@ -147,6 +162,11 @@ class Plane(Shape):
 
     def bounding_radius(self) -> float:
         return float("inf")
+
+    def to_dict(self) -> dict:
+        n = self.normal
+        return {"kind": self.kind, "normal": [n.x, n.y, n.z],
+                "offset": self.offset}
 
 
 class Heightfield(Shape):
@@ -213,3 +233,29 @@ class Heightfield(Shape):
 
     def bounding_radius(self) -> float:
         return float("inf")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "extent": self.extent,
+                "heights": [row[:] for row in self.heights]}
+
+
+def shape_from_dict(data: dict) -> Shape:
+    """Rebuild a shape from its ``to_dict`` construction record.
+
+    This is the geometry half of the snapshot wire format: a restored
+    world must be able to *reconstruct* geoms that were spawned after
+    the original scene build (cannon shells, debris), not just overwrite
+    their dynamic state.
+    """
+    kind = data.get("kind")
+    if kind == "sphere":
+        return Sphere(data["radius"])
+    if kind == "box":
+        return Box(Vec3(*data["half_extents"]))
+    if kind == "capsule":
+        return Capsule(data["radius"], data["length"])
+    if kind == "plane":
+        return Plane(Vec3(*data["normal"]), data["offset"])
+    if kind == "heightfield":
+        return Heightfield(data["extent"], data["heights"])
+    raise ValueError(f"unknown shape kind {kind!r}")

@@ -25,6 +25,7 @@ SIM_PACKAGES = (
     "cloth",
     "fastpath",
     "resilience",
+    "serve",
 )
 
 

@@ -20,6 +20,11 @@ round-trips every finite ``float64`` exactly.
 Bodies and geoms created *after* a capture (cannon shells, for example)
 are removed on restore, and the global uid counters are rewound so
 re-spawned objects receive the same uids as in the original run.
+Conversely, restoring into a *fresh* build of the same scene (the
+migration path: the snapshot travels to another process, which rebuilds
+the scenario and replays the state onto it) reconstructs any bodies and
+geoms the snapshot has but the build doesn't, from the per-geom
+``build_state`` records captured since snapshot version 2.
 """
 
 from __future__ import annotations
@@ -29,6 +34,8 @@ import json
 from ..collision import Geom
 from ..dynamics import Body
 from ..engine.explosions import Explosion
+from ..geometry import shape_from_dict
+from ..math3d import Quaternion, Transform, Vec3
 
 
 class SnapshotMismatchError(RuntimeError):
@@ -36,7 +43,7 @@ class SnapshotMismatchError(RuntimeError):
 
 
 class WorldSnapshot:
-    VERSION = 1
+    VERSION = 2
 
     def __init__(self, data: dict):
         self.data = data
@@ -55,6 +62,7 @@ class WorldSnapshot:
             "n_geoms": len(world.geoms),
             "n_joints": len(world.joints),
             "bodies": [b.snapshot_state() for b in world.bodies],
+            "geoms": [g.build_state() for g in world.geoms],
             "joints": [j.snapshot_state() for j in world.joints],
             "no_collide_pairs": sorted(
                 sorted(pair) for pair in world._no_collide_pairs),
@@ -71,15 +79,59 @@ class WorldSnapshot:
         }
         return cls(data)
 
+    # -- reconstruction -------------------------------------------------
+    def _reconstruct(self, world):
+        """Rebuild bodies/geoms the snapshot has but ``world`` lacks.
+
+        A fresh build of the captured scene contains only the authored
+        structure; objects spawned mid-run before the capture (cannon
+        shells, debris) are appended here from the snapshot's build
+        records so the positional restore below lines up. The temporary
+        uid draws from ``Body()``/``Geom()`` are immaterial: restore
+        rewinds both counters to the captured values right after.
+        """
+        d = self.data
+        for state in d["bodies"][len(world.bodies):]:
+            body = Body()
+            body.uid = state["uid"]
+            body.index = len(world.bodies)
+            world.bodies.append(body)
+        records = d["geoms"]
+        for geom, rec in zip(world.geoms, records):
+            if geom.uid != rec["uid"]:
+                raise SnapshotMismatchError(
+                    f"geom uid mismatch: #{geom.uid} vs snapshot "
+                    f"#{rec['uid']}")
+        for rec in records[len(world.geoms):]:
+            slot = rec["body"]
+            body = world.bodies[slot] if slot is not None else None
+            px, py, pz, qw, qx, qy, qz = rec["static_transform"]
+            geom = Geom(
+                shape_from_dict(rec["shape"]), body=body,
+                transform=Transform(Vec3(px, py, pz),
+                                    Quaternion(qw, qx, qy, qz)),
+                friction=rec["friction"],
+                restitution=rec["restitution"])
+            geom.uid = rec["uid"]
+            geom.index = len(world.geoms)
+            group = rec["collision_group"]
+            geom.collision_group = (tuple(group) if isinstance(group, list)
+                                    else group)
+            world.geoms.append(geom)
+
     # -- restore --------------------------------------------------------
     def restore(self, world):
         """Rewind ``world`` to the captured state, in place.
 
-        The world must be the one the snapshot was captured from (or a
-        structurally identical build of the same scene): restore matches
-        bodies, joints and cloths positionally and verifies body uids.
+        The world must be the one the snapshot was captured from, or a
+        build of the same scene: restore matches bodies, joints and
+        cloths positionally and verifies body uids. A fresh build may be
+        *smaller* than the snapshot (it lacks the shells/debris spawned
+        mid-run before the capture); the missing bodies and geoms are
+        reconstructed from the snapshot's build records.
         """
         d = self.data
+        self._reconstruct(world)
         if len(world.bodies) < len(d["bodies"]) \
                 or len(world.geoms) < d["n_geoms"] \
                 or len(world.joints) < d["n_joints"] \

@@ -65,6 +65,26 @@ class WatchdogConfig:
         self.max_speed = max_speed
         self.max_angular_speed = max_angular_speed
         self.ladder = tuple(ladder)
+        self._check_ladder()
+
+    def to_dict(self) -> dict:
+        """JSON-native form (ladder as a list); the watchdog half of
+        the :class:`repro.api.SessionSpec` wire format."""
+        return {
+            "energy_gain_factor": self.energy_gain_factor,
+            "energy_gain_min": self.energy_gain_min,
+            "penetration_limit": self.penetration_limit,
+            "residual_limit": self.residual_limit,
+            "max_speed": self.max_speed,
+            "max_angular_speed": self.max_angular_speed,
+            "ladder": list(self.ladder),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WatchdogConfig":
+        return cls(**data)
+
+    def _check_ladder(self):
         for rung in self.ladder:
             if rung not in DEFAULT_LADDER:
                 raise ValueError(f"unknown ladder rung {rung!r}; known: "

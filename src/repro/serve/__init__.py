@@ -1,0 +1,56 @@
+"""``repro.serve`` — sharded async multi-world simulation service.
+
+Many independent simulation sessions run across worker processes (each
+worker batch-stepping its residents through one packed solve) behind an
+asyncio front-end. Sessions route to shards deterministically, migrate
+between shards via checkpoint/restore with bit-identical replay, and
+degrade gracefully under load (quarantine, bounded-queue backpressure,
+per-session watchdogs).
+
+Quick start::
+
+    from repro.api import SessionSpec
+    from repro.serve import SimCluster
+
+    with SimCluster(n_shards=2) as cluster:
+        cluster.create_session("demo", SessionSpec("periodic",
+                                                   scale=0.05,
+                                                   backend="numpy"))
+        cluster.step("demo", frames=10)
+        print(cluster.query("demo")["digest"])
+
+Async front-end: :class:`~repro.serve.service.SimService`. Load test:
+``python -m repro.serve.loadtest`` (writes ``BENCH_9.json``).
+"""
+
+from .cluster import SimCluster
+from .metrics import (FrameTimeHistogram, ShardMetrics,
+                      merge_snapshots)
+from .protocol import (BackpressureError, ServeError,
+                       SessionExistsError, ShardDownError,
+                       ShardTimeoutError, UnknownSessionError,
+                       UnknownVerbError, WorkerError)
+from .routing import RoutingTable, shard_for
+from .service import SimService, serve_tcp
+from .shard import ShardOptions, ShardWorker
+
+__all__ = [
+    "SimCluster",
+    "SimService",
+    "serve_tcp",
+    "ShardOptions",
+    "ShardWorker",
+    "RoutingTable",
+    "shard_for",
+    "FrameTimeHistogram",
+    "ShardMetrics",
+    "merge_snapshots",
+    "ServeError",
+    "UnknownSessionError",
+    "SessionExistsError",
+    "UnknownVerbError",
+    "BackpressureError",
+    "ShardTimeoutError",
+    "ShardDownError",
+    "WorkerError",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — delegate to the load-test harness."""
+
+from .loadtest import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Deterministic session -> shard routing.
+
+The home shard is a pure function of the session id (first 8 bytes of
+its SHA-256, mod shard count), so every front-end instance — and every
+test — computes the same placement with no coordination. Live overrides
+layer on top: a migration moves a session off its home shard by
+recording ``session_id -> new_shard`` in the table, and dropping the
+override sends future sessions with that id home again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def shard_for(session_id: str, n_shards: int) -> int:
+    """Home shard of ``session_id`` among ``n_shards`` (stable)."""
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    digest = hashlib.sha256(session_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+class RoutingTable:
+    """Hash placement plus migration overrides."""
+
+    def __init__(self, n_shards: int):
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.n_shards = n_shards
+        self.overrides = {}  # session_id -> shard_id
+
+    def shard_of(self, session_id: str) -> int:
+        override = self.overrides.get(session_id)
+        if override is not None:
+            return override
+        return shard_for(session_id, self.n_shards)
+
+    def assign(self, session_id: str, shard_id: int):
+        """Pin ``session_id`` to ``shard_id`` (a completed migration)."""
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(f"shard {shard_id} out of range "
+                             f"[0, {self.n_shards})")
+        if shard_id == shard_for(session_id, self.n_shards):
+            self.overrides.pop(session_id, None)
+        else:
+            self.overrides[session_id] = shard_id
+
+    def forget(self, session_id: str):
+        """Drop any override (the session was destroyed)."""
+        self.overrides.pop(session_id, None)

@@ -1,0 +1,190 @@
+"""Asyncio front-end over :class:`~repro.serve.cluster.SimCluster`.
+
+:class:`SimService` exposes the session verbs as coroutines: each call
+submits to the owning shard's bounded queue and awaits the worker's
+reply future (``asyncio.wrap_future``), so hundreds of in-flight
+commands interleave on one event loop while the physics runs in the
+worker processes. :func:`serve_tcp` optionally exposes the same verbs
+as a JSON-lines TCP endpoint for out-of-process clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from . import protocol
+from .cluster import SimCluster
+
+
+class SimService:
+    """Async session API over a running cluster.
+
+    Construct with an existing :class:`SimCluster` (or let
+    :meth:`start` build one), then ``await`` the verbs. Backpressure
+    surfaces synchronously at submit time; everything else resolves
+    through the reply future.
+    """
+
+    def __init__(self, cluster: SimCluster):
+        self.cluster = cluster
+
+    @classmethod
+    def start(cls, n_shards: int = 2, **cluster_kwargs) -> "SimService":
+        """Spin up a cluster and wrap it (blocking process start)."""
+        return cls(SimCluster(n_shards=n_shards, **cluster_kwargs))
+
+    async def _call(self, shard_id: int, verb: str,
+                    session_id: str = None, **args):
+        future = self.cluster.submit(shard_id, verb, session_id, **args)
+        reply = await asyncio.wait_for(
+            asyncio.wrap_future(future),
+            timeout=self.cluster.request_timeout)
+        return protocol.raise_if_error(reply)
+
+    def _shard_of(self, session_id: str) -> int:
+        return self.cluster.routing.shard_of(session_id)
+
+    # -- session verbs --------------------------------------------------
+    async def create_session(self, session_id: str, spec) -> dict:
+        spec_dict = spec if isinstance(spec, dict) else spec.to_dict()
+        return await self._call(self._shard_of(session_id), "create",
+                                session_id, spec=spec_dict)
+
+    async def step(self, session_id: str, frames: int = 1) -> dict:
+        return await self._call(self._shard_of(session_id), "step",
+                                session_id, frames=frames)
+
+    async def query(self, session_id: str) -> dict:
+        return await self._call(self._shard_of(session_id), "query",
+                                session_id)
+
+    async def checkpoint(self, session_id: str) -> dict:
+        return await self._call(self._shard_of(session_id),
+                                "checkpoint", session_id)
+
+    async def restore_session(self, session_id: str, payload: dict,
+                              shard_id: int = None) -> dict:
+        if shard_id is None:
+            shard_id = self._shard_of(session_id)
+        result = await self._call(shard_id, "restore", session_id,
+                                  payload=payload)
+        self.cluster.routing.assign(session_id, shard_id)
+        return result
+
+    async def destroy(self, session_id: str) -> dict:
+        result = await self._call(self._shard_of(session_id),
+                                  "destroy", session_id)
+        self.cluster.routing.forget(session_id)
+        return result
+
+    async def migrate(self, session_id: str,
+                      target_shard: int) -> dict:
+        """checkpoint -> destroy -> restore, without blocking the loop
+        for other sessions' traffic."""
+        source_shard = self._shard_of(session_id)
+        if target_shard == source_shard:
+            return await self.query(session_id)
+        payload = await self._call(source_shard, "checkpoint",
+                                   session_id)
+        await self._call(source_shard, "destroy", session_id)
+        return await self.restore_session(session_id, payload,
+                                          target_shard)
+
+    async def stats(self) -> dict:
+        from .metrics import merge_snapshots
+        snapshots = await asyncio.gather(*(
+            self._call(shard_id, "stats")
+            for shard_id in range(self.cluster.n_shards)))
+        return merge_snapshots(list(snapshots))
+
+    async def close(self):
+        await asyncio.get_event_loop().run_in_executor(
+            None, self.cluster.close)
+
+    async def __aenter__(self) -> "SimService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb):
+        await self.close()
+
+    # -- wire-level entry (shared by the TCP server and tests) ----------
+    async def handle_message(self, msg: dict) -> dict:
+        """Route one wire request dict; always returns a reply dict."""
+        req_id = msg.get("req_id", -1)
+        verb = msg.get("verb")
+        session_id = msg.get("session_id")
+        args = msg.get("args") or {}
+        try:
+            if verb == "create":
+                result = await self.create_session(session_id,
+                                                   args["spec"])
+            elif verb == "step":
+                result = await self.step(session_id,
+                                         int(args.get("frames", 1)))
+            elif verb == "query":
+                result = await self.query(session_id)
+            elif verb == "checkpoint":
+                result = await self.checkpoint(session_id)
+            elif verb == "restore":
+                result = await self.restore_session(
+                    session_id, args["payload"], args.get("shard_id"))
+            elif verb == "destroy":
+                result = await self.destroy(session_id)
+            elif verb == "migrate":
+                result = await self.migrate(session_id,
+                                            int(args["target_shard"]))
+            elif verb == "stats":
+                result = await self.stats()
+            else:
+                raise protocol.UnknownVerbError(
+                    f"unknown verb {verb!r}")
+        except Exception as exc:  # noqa: BLE001 - typed wire reply
+            return protocol.error_reply(req_id, exc)
+        return protocol.ok_reply(req_id, result)
+
+
+async def serve_tcp(service: SimService, host: str = "127.0.0.1",
+                    port: int = 0):
+    """Expose ``service`` as a JSON-lines TCP endpoint.
+
+    One request dict per line, one reply dict per line; concurrent
+    requests from one connection interleave (each line spawns a task).
+    Returns the listening ``asyncio.Server`` (``server.sockets[0]
+    .getsockname()`` reveals the bound port when ``port=0``).
+    """
+
+    async def handle_connection(reader, writer):
+        write_lock = asyncio.Lock()
+
+        async def respond(msg):
+            reply = await service.handle_message(msg)
+            async with write_lock:
+                writer.write(json.dumps(reply).encode("utf-8") + b"\n")
+                await writer.drain()
+
+        tasks = []
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    msg = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    msg = None
+                    async with write_lock:
+                        writer.write(json.dumps(protocol.error_reply(
+                            -1, protocol.WorkerError(
+                                f"bad JSON: {exc}"))).encode("utf-8")
+                            + b"\n")
+                        await writer.drain()
+                if msg is not None:
+                    tasks.append(asyncio.ensure_future(respond(msg)))
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            writer.close()
+
+    return await asyncio.start_server(handle_connection, host, port)

@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 
 from ..dynamics import Body
 from ..cloth import Cloth
 from ..engine import World
 from ..geometry import Box, Sphere
 from ..math3d import Vec3
-from ..profiling import FrameReport, mean_report
+from ..profiling import mean_report
 from . import scenes
 
 
@@ -354,69 +355,46 @@ class BenchmarkRun:
                 f" frames={len(self.reports)})")
 
 
+def _scenario_spec(name: str, scale: float, seed: int, watchdog: bool,
+                   watchdog_config, fault_schedule, backend):
+    """Map the legacy harness arguments onto a SessionSpec."""
+    from ..api import SessionSpec
+    return SessionSpec(
+        name, scale=scale, seed=seed, backend=backend,
+        watchdog=watchdog, watchdog_config=watchdog_config,
+        faults=fault_schedule)
+
+
 def run_benchmark(name: str, scale: float = 1.0, frames: int = 5,
                   measure_from: int = None, seed: int = 0,
                   watchdog: bool = False, watchdog_config=None,
                   fault_schedule=None, backend: str = None) -> BenchmarkRun:
-    """Build and simulate a benchmark, collecting per-frame reports.
+    """Deprecated: use :func:`repro.api.run_scenario`.
 
-    ``watchdog=True`` guards every sub-step with a
-    :class:`repro.resilience.StepWatchdog` (rollback + degradation on
-    NaN/energy/penetration/solver violations); ``fault_schedule`` (a
-    :class:`repro.resilience.FaultSchedule`) injects deterministic
-    faults through the driver — run it with the watchdog on unless the
-    point is to watch the simulation burn.  ``backend`` retargets the
-    built world ("scalar" / "numpy"); the default follows
-    :func:`repro.fastpath.resolve_backend`.
+    Thin shim over the session-first API — the run is bit-identical to
+    the historical loop (``Session.step`` preserves it verbatim). Will
+    be removed in the next release; build a
+    :class:`repro.api.SessionSpec` instead: the watchdog, fault and
+    backend policies travel as JSON-serializable data, and the same
+    spec drives ``repro.serve`` sessions.
     """
-    bench = get_benchmark(name)
-    if backend is not None:
-        from ..fastpath import default_backend
-        with default_backend(backend):
-            world, driver = bench.build(scale=scale, seed=seed)
-    else:
-        world, driver = bench.build(scale=scale, seed=seed)
-    if measure_from is None:
-        measure_from = max(0, frames - 2)
-    measure_from = min(measure_from, max(0, frames - 1))
-
-    guard = injector = None
-    if watchdog or fault_schedule is not None:
-        from ..resilience import FaultInjector, StepWatchdog
-        if fault_schedule is not None:
-            injector = FaultInjector(world, fault_schedule, seed=seed)
-        if watchdog:
-            guard = StepWatchdog(world, watchdog_config)
-    if injector is not None:
-        scene_driver = driver
-
-        def driver():
-            if scene_driver is not None:
-                scene_driver()
-            injector.tick()
-
-    reports = []
-    for _ in range(frames):
-        report = FrameReport(world.frame_index)
-        world.report = report
-        for _ in range(world.config.substeps_per_frame):
-            if guard is not None:
-                guard.step(driver)
-            else:
-                if driver is not None:
-                    driver()
-                world.step()
-        world.frame_index += 1
-        reports.append(report)
-    return BenchmarkRun(name, scale, seed, world, reports, measure_from,
-                        health=guard.health if guard else None,
-                        injector=injector)
+    warnings.warn(
+        "run_benchmark() is deprecated and will be removed in the next "
+        "release; use repro.api.run_scenario(SessionSpec(name, ...)) "
+        "(same loop, same BenchmarkRun result)",
+        DeprecationWarning, stacklevel=2)
+    from ..api import run_scenario
+    spec = _scenario_spec(name, scale, seed, watchdog, watchdog_config,
+                          fault_schedule, backend)
+    return run_scenario(spec, frames=frames, measure_from=measure_from)
 
 
 def run_all(scale: float = 1.0, frames: int = 5, measure_from: int = None,
             seed: int = 0) -> dict:
+    from ..api import run_scenario
     return {
-        name: run_benchmark(name, scale=scale, frames=frames,
-                            measure_from=measure_from, seed=seed)
+        name: run_scenario(
+            _scenario_spec(name, scale, seed, False, None, None, None),
+            frames=frames, measure_from=measure_from)
         for name in BENCHMARKS
     }

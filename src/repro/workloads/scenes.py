@@ -67,7 +67,10 @@ def make_humanoid(world, base: Vec3, density: float = 900.0) -> Humanoid:
         bodies[name] = body
         return body
 
-    bodies_id = object()  # unique per humanoid: self-collision off
+    # Unique per humanoid (self-collision off): the uid the first part
+    # will draw. JSON-native and reproducible under snapshot rebuild,
+    # unlike an `object()` sentinel.
+    bodies_id = Body._next_uid
 
     # Trunk (4 segments) + head.
     part("pelvis", Box(Vec3(0.16, 0.08, 0.10)), 0.0, 0.96, 0.0)
@@ -319,7 +322,10 @@ class Cannon:
         self.fired = 0
         self.detonations = 0
         # Cannons are stateful mid-run spawners: register with the
-        # world so checkpoints roll their state back too.
+        # world so checkpoints roll their state back too. The actor
+        # slot doubles as a reproducible collision-group tag (id(self)
+        # would differ across a snapshot rebuild in another process).
+        self.actor_slot = len(world.actors)
         world.register_actor(self)
 
     def tick(self):
@@ -334,7 +340,7 @@ class Cannon:
         shell = Body(position=self.position)
         geom = self.world.attach(shell, Sphere(self.shell_radius),
                                  density=2500.0, friction=0.6)
-        geom.collision_group = ("cannon", id(self))
+        geom.collision_group = ("cannon", self.actor_slot)
         shell.linear_velocity = direction * self.speed
         shell.gravity_scale = 0.3  # flat-ish trajectory
         self.shells.append(shell)

@@ -1,0 +1,141 @@
+"""The session-first public API: SessionSpec, Session, SessionGroup,
+the legacy deprecation shims, and dynamic BatchWorld membership."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.api import Session, SessionGroup, SessionSpec, run_scenario
+from repro.engine import World, WorldConfig
+from repro.workloads import run_benchmark
+
+
+def spec(name="periodic", **kw):
+    kw.setdefault("scale", 0.05)
+    kw.setdefault("backend", "numpy")
+    return SessionSpec(name, **kw)
+
+
+class TestSessionSpec:
+    def test_json_round_trip(self):
+        original = spec("explosions", seed=7,
+                        config=WorldConfig(gravity=(0.0, -5.0, 0.0)),
+                        watchdog=True,
+                        faults=[{"step": 4, "kind": "huge_impulse",
+                                 "persistent": False}])
+        wire = json.loads(json.dumps(original.to_dict()))
+        assert SessionSpec.from_dict(wire) == original
+
+    def test_resolved_pins_backend(self):
+        unpinned = SessionSpec("periodic")
+        assert unpinned.resolved().backend in ("numpy", "scalar")
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(TypeError):
+            WorldConfig().replace(not_a_field=1.0)
+
+
+class TestDeprecationShims:
+    def test_world_kwargs_warn_but_apply(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"World\(\*\*tunables\) is "
+                                r"deprecated"):
+            world = World(gravity=(0.0, -3.0, 0.0), dt=0.002)
+        assert world.config.gravity == (0.0, -3.0, 0.0)
+        assert world.config.dt == 0.002
+
+    def test_world_kwargs_alongside_config_rejected(self):
+        with pytest.raises(TypeError):
+            World(config=WorldConfig(), dt=0.001)
+
+    def test_world_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            World(gravityy=(0.0, 0.0, 0.0))
+
+    def test_run_benchmark_warns_and_matches_run_scenario(self):
+        with pytest.warns(DeprecationWarning,
+                          match="run_benchmark.. is deprecated"):
+            legacy = run_benchmark("periodic", frames=3, scale=0.05,
+                                   backend="numpy")
+        modern = run_scenario(spec(), frames=3)
+        assert legacy.total_instructions() == \
+            modern.total_instructions()
+        assert len(legacy.reports) == len(modern.reports)
+
+    def test_config_path_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            World(config=WorldConfig(dt=0.004))
+
+
+class TestSession:
+    def test_two_sessions_same_spec_same_digest(self):
+        a = Session.create(spec())
+        b = Session.create(spec())
+        a.step(4)
+        b.step(4)
+        assert a.state_digest() == b.state_digest()
+
+    def test_describe_is_json_native(self):
+        session = Session.create(spec())
+        session.step(2)
+        status = json.loads(json.dumps(session.describe()))
+        assert status["frame_index"] == 2
+        assert status["scenario"] == "periodic"
+        assert len(status["digest"]) == 64
+
+    def test_closed_session_refuses_steps(self):
+        session = Session.create(spec())
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.step()
+
+    def test_seed_changes_trajectory(self):
+        a = Session.create(spec("periodic", seed=0))
+        b = Session.create(spec("periodic", seed=1))
+        a.step(3)
+        b.step(3)
+        assert a.state_digest() != b.state_digest()
+
+
+class TestSessionGroup:
+    def test_dynamic_membership_matches_solo(self):
+        solos = [Session.create(spec(seed=i)) for i in range(3)]
+        grouped = [Session.create(spec(seed=i)) for i in range(3)]
+
+        group = SessionGroup(grouped[:2])
+        group.step(2)
+        group.add(grouped[2])  # joins mid-flight
+        for solo in solos[:2]:
+            solo.step(2)
+        group.step(3)
+        for solo in solos[:2]:
+            solo.step(3)
+        solos[2].step(3)
+
+        removed = grouped[1]
+        group.remove(removed)
+        group.step(2)
+        solos[0].step(2)
+        solos[2].step(2)
+
+        assert grouped[0].state_digest() == solos[0].state_digest()
+        assert removed.state_digest() == solos[1].state_digest()
+        assert grouped[2].state_digest() == solos[2].state_digest()
+
+    def test_batchworld_rejects_duplicate_membership(self):
+        from repro.fastpath import BatchWorld
+        session = Session.create(spec())
+        batch = BatchWorld([session.world])
+        with pytest.raises(ValueError):
+            batch.add_world(session.world)
+
+    def test_guarded_session_steps_solo_but_identically(self):
+        guarded = Session.create(spec(watchdog=True))
+        solo = Session.create(spec(watchdog=True))
+        plain = Session.create(spec(seed=3))
+        group = SessionGroup([guarded, plain])
+        group.step(4)
+        solo.step(4)
+        assert guarded.state_digest() == solo.state_digest()

@@ -1,0 +1,326 @@
+"""The sharded simulation service: routing, metrics, protocol units,
+cluster lifecycle end-to-end, migration bit-identity through the
+service, backpressure, quarantine, and the asyncio front-end."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import Session, SessionSpec
+from repro.serve import (BackpressureError, FrameTimeHistogram,
+                         RoutingTable, SessionExistsError, ShardOptions,
+                         ShardWorker, SimCluster, SimService,
+                         UnknownSessionError, merge_snapshots,
+                         serve_tcp, shard_for)
+from repro.serve import protocol
+
+
+def spec(name="periodic", **kw):
+    kw.setdefault("scale", 0.02)
+    kw.setdefault("backend", "numpy")
+    return SessionSpec(name, **kw)
+
+
+# -- units: routing ------------------------------------------------------
+class TestRouting:
+    def test_shard_for_is_stable_and_in_range(self):
+        for n in (1, 2, 5):
+            for sid in ("a", "session-42", "s00099"):
+                first = shard_for(sid, n)
+                assert 0 <= first < n
+                assert shard_for(sid, n) == first
+
+    def test_overrides_layer_over_hash_placement(self):
+        table = RoutingTable(4)
+        sid = "mover"
+        home = table.shard_of(sid)
+        target = (home + 1) % 4
+        table.assign(sid, target)
+        assert table.shard_of(sid) == target
+        table.assign(sid, home)  # back home drops the override
+        assert table.overrides == {}
+        table.assign(sid, target)
+        table.forget(sid)
+        assert table.shard_of(sid) == home
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            shard_for("x", 0)
+        with pytest.raises(ValueError):
+            RoutingTable(2).assign("x", 5)
+
+
+# -- units: metrics ------------------------------------------------------
+class TestMetrics:
+    def test_histogram_percentiles_bracket_the_data(self):
+        hist = FrameTimeHistogram()
+        for _ in range(90):
+            hist.record(0.001)
+        for _ in range(10):
+            hist.record(0.5)
+        assert 0.0005 < hist.percentile(50) < 0.002
+        assert 0.25 < hist.percentile(95) < 1.0
+        assert hist.max == 0.5
+        assert hist.total == 100
+
+    def test_merge_and_serialization_round_trip(self):
+        a, b = FrameTimeHistogram(), FrameTimeHistogram()
+        a.record(0.01)
+        b.record(0.02)
+        b.record(0.04)
+        a.merge(FrameTimeHistogram.from_dict(
+            json.loads(json.dumps(b.to_dict()))))
+        assert a.total == 3
+        assert a.max == 0.04
+
+    def test_merge_snapshots_folds_counters(self):
+        from repro.serve import ShardMetrics
+        m0, m1 = ShardMetrics(0), ShardMetrics(1)
+        m0.observe_frame("a", 0.01, batched=True)
+        m1.observe_frame("b", 0.02, batched=False)
+        m1.count("quarantines")
+        merged = merge_snapshots([m0.snapshot(), m1.snapshot()])
+        assert merged["counters"]["frames"] == 2
+        assert merged["counters"]["batched_frames"] == 1
+        assert merged["counters"]["quarantines"] == 1
+        assert merged["frame_time_summary"]["count"] == 2
+
+
+# -- units: protocol -----------------------------------------------------
+class TestProtocol:
+    def test_typed_error_survives_the_wire(self):
+        reply = json.loads(json.dumps(protocol.error_reply(
+            7, UnknownSessionError("nope"))))
+        with pytest.raises(UnknownSessionError, match="nope"):
+            protocol.raise_if_error(reply)
+
+    def test_foreign_exception_becomes_worker_error(self):
+        reply = protocol.error_reply(1, KeyError("boom"))
+        assert reply["error"]["type"] == "WorkerError"
+        with pytest.raises(protocol.WorkerError, match="KeyError"):
+            protocol.raise_if_error(reply)
+
+    def test_unknown_error_type_degrades_to_worker_error(self):
+        reply = {"req_id": 1, "ok": False,
+                 "error": {"type": "FutureError", "message": "m"}}
+        with pytest.raises(protocol.WorkerError):
+            protocol.raise_if_error(reply)
+
+    def test_ok_reply_passes_result_through(self):
+        assert protocol.raise_if_error(
+            protocol.ok_reply(3, {"x": 1})) == {"x": 1}
+
+
+# -- units: quarantine ladder -------------------------------------------
+class TestQuarantineLadder:
+    def test_streaks_drive_quarantine_and_release(self):
+        from repro.serve.shard import SessionRuntime
+        worker = ShardWorker(0, ShardOptions(slow_frame_seconds=0.1,
+                                             quarantine_after=2,
+                                             release_after=2))
+        runtime = SessionRuntime("s", session=None)
+        worker._update_quarantine(runtime, 0.5)
+        assert not runtime.quarantined
+        worker._update_quarantine(runtime, 0.5)
+        assert runtime.quarantined
+        worker._update_quarantine(runtime, 0.01)
+        assert runtime.quarantined
+        worker._update_quarantine(runtime, 0.01)
+        assert not runtime.quarantined
+        assert worker.metrics.counters["quarantines"] == 1
+        assert worker.metrics.counters["quarantine_releases"] == 1
+
+    def test_slow_streak_resets_on_fast_frame(self):
+        from repro.serve.shard import SessionRuntime
+        worker = ShardWorker(0, ShardOptions(slow_frame_seconds=0.1,
+                                             quarantine_after=3))
+        runtime = SessionRuntime("s", session=None)
+        for seconds in (0.5, 0.5, 0.01, 0.5, 0.5):
+            worker._update_quarantine(runtime, seconds)
+        assert not runtime.quarantined
+
+
+# -- end-to-end: cluster -------------------------------------------------
+class TestCluster:
+    def test_lifecycle_and_typed_errors(self):
+        with SimCluster(n_shards=2, backlog=16) as cluster:
+            cluster.create_session("a", spec(seed=0))
+            with pytest.raises(SessionExistsError):
+                cluster.create_session("a", spec(seed=0))
+            result = cluster.step("a", frames=3)
+            assert result["frame_index"] == 3
+            status = cluster.query("a")
+            assert status["frame_index"] == 3
+            assert len(status["digest"]) == 64
+            with pytest.raises(UnknownSessionError):
+                cluster.step("ghost")
+            cluster.destroy("a")
+            with pytest.raises(UnknownSessionError):
+                cluster.query("a")
+
+    def test_serve_matches_local_session(self):
+        with SimCluster(n_shards=2) as cluster:
+            cluster.create_session("x", spec(seed=4))
+            cluster.step("x", frames=5)
+            served = cluster.query("x")["digest"]
+        local = Session.create(spec(seed=4))
+        local.step(5)
+        assert served == local.state_digest()
+
+    def test_migration_is_bit_identical(self):
+        with SimCluster(n_shards=2) as cluster:
+            cluster.create_session("m", spec("explosions", scale=0.05))
+            cluster.step("m", frames=4)
+            source = cluster.routing.shard_of("m")
+            target = (source + 1) % 2
+            moved = cluster.migrate("m", target)
+            assert moved["shard_id"] == target
+            assert cluster.routing.shard_of("m") == target
+            cluster.step("m", frames=4)
+            served = cluster.query("m")["digest"]
+            stats = cluster.stats()
+            assert stats["counters"]["sessions_restored"] == 1
+        twin = Session.create(spec("explosions", scale=0.05))
+        twin.step(8)
+        assert served == twin.state_digest()
+
+    def test_full_inbox_raises_backpressure(self):
+        with SimCluster(n_shards=1, backlog=1) as cluster:
+            cluster.create_session("busy", spec(scale=0.05))
+            futures = [cluster.submit(0, "step", "busy", frames=30)]
+            with pytest.raises(BackpressureError):
+                for _ in range(500):
+                    futures.append(cluster.submit(0, "query", "busy"))
+            for future in futures:
+                protocol.raise_if_error(future.result(timeout=120))
+
+    def test_slow_session_is_quarantined_but_completes(self):
+        options = ShardOptions(slow_frame_seconds=0.0,
+                               quarantine_after=2,
+                               quarantine_backoff=2)
+        with SimCluster(n_shards=1, shard_options=options) as cluster:
+            cluster.create_session("slow", spec(seed=1))
+            result = cluster.step("slow", frames=6)
+            assert result["frame_index"] == 6
+            assert result["quarantined"]
+            stats = cluster.shard_stats(0)
+            assert stats["counters"]["quarantines"] >= 1
+
+    def test_watchdog_session_reports_events(self):
+        faults = [{"step": 3, "kind": "huge_impulse",
+                   "persistent": False}]
+        with SimCluster(n_shards=1) as cluster:
+            cluster.create_session(
+                "w", spec(scale=0.05, watchdog=True, faults=faults))
+            result = cluster.step("w", frames=4)
+            assert result["watchdog_events"] >= 1
+            stats = cluster.shard_stats(0)
+            assert stats["counters"]["watchdog_events"] >= 1
+            assert stats["counters"]["solo_frames"] == 4
+
+
+# -- end-to-end: asyncio front-end --------------------------------------
+class TestService:
+    def test_async_verbs_and_stats(self):
+        async def scenario():
+            service = SimService.start(n_shards=2, backlog=32)
+            try:
+                await asyncio.gather(*(
+                    service.create_session(f"s{i}", spec(seed=i))
+                    for i in range(6)))
+                await asyncio.gather(*(
+                    service.step(f"s{i}", frames=3)
+                    for i in range(6)))
+                status = await service.query("s0")
+                stats = await service.stats()
+                await asyncio.gather(*(
+                    service.destroy(f"s{i}") for i in range(6)))
+                return status, stats
+            finally:
+                await service.close()
+
+        status, stats = asyncio.run(scenario())
+        assert status["frame_index"] == 3
+        assert stats["counters"]["frames"] == 18
+        # Concurrent sessions on one shard pack into batched rounds.
+        assert stats["counters"]["batched_frames"] > 0
+
+    def test_async_migration_matches_twin(self):
+        async def scenario():
+            service = SimService.start(n_shards=2)
+            try:
+                await service.create_session("m", spec(seed=9))
+                await service.step("m", frames=3)
+                source = service.cluster.routing.shard_of("m")
+                await service.migrate("m", (source + 1) % 2)
+                await service.step("m", frames=3)
+                return (await service.query("m"))["digest"]
+            finally:
+                await service.close()
+
+        served = asyncio.run(scenario())
+        twin = Session.create(spec(seed=9))
+        twin.step(6)
+        assert served == twin.state_digest()
+
+    def test_tcp_json_lines_round_trip(self):
+        async def scenario():
+            service = SimService.start(n_shards=1)
+            server = await serve_tcp(service)
+            try:
+                host, port = server.sockets[0].getsockname()[:2]
+                reader, writer = await asyncio.open_connection(host,
+                                                               port)
+                for req in (
+                    {"req_id": 1, "verb": "create",
+                     "session_id": "net",
+                     "args": {"spec": spec(seed=2).to_dict()}},
+                    {"req_id": 2, "verb": "step", "session_id": "net",
+                     "args": {"frames": 2}},
+                    {"req_id": 3, "verb": "query",
+                     "session_id": "net"},
+                    {"req_id": 4, "verb": "destroy",
+                     "session_id": "net"},
+                ):
+                    writer.write(json.dumps(req).encode() + b"\n")
+                await writer.drain()
+                replies = {}
+                for _ in range(4):
+                    line = await asyncio.wait_for(reader.readline(),
+                                                  timeout=60)
+                    reply = json.loads(line)
+                    replies[reply["req_id"]] = reply
+                writer.close()
+                return replies
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.close()
+
+        replies = asyncio.run(scenario())
+        assert all(r["ok"] for r in replies.values())
+        assert replies[3]["result"]["frame_index"] == 2
+        assert len(replies[3]["result"]["digest"]) == 64
+
+
+# -- end-to-end: load-test harness --------------------------------------
+def test_loadtest_micro_run(tmp_path):
+    from repro.serve.loadtest import build_parser, run_loadtest
+
+    out = tmp_path / "BENCH_9.json"
+    opts = build_parser().parse_args([
+        "--sessions", "8", "--workers", "2", "--frames", "4",
+        "--round-frames", "2", "--migrate", "1", "--verify", "2",
+        "--out", str(out)])
+    report = asyncio.run(run_loadtest(opts))
+    out.write_text(json.dumps(report))
+
+    assert report["frames_total"] == 32
+    assert report["throughput_fps"] > 0
+    assert report["counters"]["frames"] == 32
+    assert report["migration"]["count"] == 1
+    assert report["migration"]["verified"]
+    assert report["migration"]["divergence"] == 0.0
+    assert report["frame_time_summary"]["p95_s"] > 0
+    assert len(report["shards"]) == 2
