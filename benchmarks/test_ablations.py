@@ -1,58 +1,27 @@
 """Ablation benches for the engine's design choices.
 
-Each ablation flips one mechanism and measures its effect on a controlled
-scene: warm starting (stack convergence), auto-sleep (solver work),
-continuous collision (tunneling), and broadphase strategy (pair-test
-counts).  These are the engineering choices DESIGN.md calls out.
+Each ablation flips one mechanism and measures its effect on a
+controlled scene: warm starting (stack convergence), auto-sleep (solver
+work), continuous collision (tunneling), and broadphase strategy
+(pair-test counts).  These are the engineering choices DESIGN.md calls
+out.  The scenes themselves live in :mod:`repro.ablation.studies` —
+shared with ``python -m repro.analysis``, which regenerates the same
+``results/ablation_*.txt`` artifacts — and each test here asserts its
+mechanism is load-bearing.
 """
 
 from conftest import run_once
 
-from repro.analysis.tables import format_table
-from repro.collision import (
-    BruteForceBroadphase,
-    SpatialHashBroadphase,
-    SweepAndPrune,
+from repro.ablation.studies import (
+    autosleep_study,
+    broadphase_study,
+    ccd_study,
+    warmstart_study,
 )
-from repro.collision.geom import Geom
-from repro.dynamics import Body
-from repro.engine import World, WorldConfig
-from repro.geometry import Box, Plane, Sphere
-from repro.math3d import Transform, Vec3
-
-
-def _ground(**cfg):
-    w = World(WorldConfig(**cfg))
-    w.add_static_geom(Plane(Vec3(0, 1, 0), 0.0))
-    return w
-
-
-def _stack_error(warm, iterations, steps=200, height=6):
-    w = _ground(warm_starting=warm, solver_iterations=iterations)
-    boxes = []
-    for i in range(height):
-        b = Body(position=Vec3(0, 0.5 + 1.001 * i, 0))
-        w.attach(b, Box.from_dimensions(1, 1, 1))
-        boxes.append(b)
-    for _ in range(steps):
-        w.step()
-    return max(abs(b.position.y - (0.5 + i)) for i, b in enumerate(boxes))
 
 
 def test_ablation_warm_starting(benchmark, save_result):
-    def run():
-        rows = []
-        for iters in (4, 8, 20):
-            cold = _stack_error(False, iters)
-            warm = _stack_error(True, iters)
-            rows.append((iters, f"{cold:.3f}", f"{warm:.3f}"))
-        return rows
-
-    rows = run_once(benchmark, run)
-    text = format_table(
-        ("solver iterations", "cold-start error (m)", "warm-start error (m)"),
-        rows, "ablation — contact warm starting vs stack drift",
-    )
+    rows, text = run_once(benchmark, warmstart_study)
     save_result("ablation_warmstart", text)
     # Warm starting must not hurt, and must help at low iteration counts.
     lowest = rows[0]
@@ -60,109 +29,23 @@ def test_ablation_warm_starting(benchmark, save_result):
 
 
 def test_ablation_auto_sleep(benchmark, save_result):
-    def run(auto_sleep):
-        w = _ground(auto_sleep=auto_sleep)
-        for i in range(12):
-            b = Body(position=Vec3((i % 4) * 1.2, 0.5, (i // 4) * 1.2))
-            w.attach(b, Box.from_dimensions(1, 1, 1))
-        total_updates = 0
-        for f in range(100):
-            w.report = None
-            rep = w.step_frame()
-            total_updates += rep["island_processing"].get("row_updates")
-        return total_updates
-
-    awake = run(False)
-    asleep = run_once(benchmark, lambda: run(True))
-    text = format_table(
-        ("config", "solver row updates (100 frames)"),
-        [("always awake", int(awake)), ("auto-sleep", int(asleep))],
-        "ablation — auto-sleep solver work on a quiescent scene",
-    )
+    rows, text = run_once(benchmark, autosleep_study)
     save_result("ablation_autosleep", text)
+    (_, awake), (_, asleep) = rows
     assert asleep < awake * 0.5  # sleeping islands skip the solver
 
 
 def test_ablation_ccd(benchmark, save_result):
-    def tunnel_test(speed, use_ccd):
-        import repro.collision.ccd as ccd_mod
-
-        w = World()
-        w.config.gravity = Vec3.zero()
-        w.add_static_geom(
-            Box(Vec3(0.1, 2.0, 2.0)), offset=Transform(Vec3(5.0, 2.0, 0))
-        )
-        bullet = Body(position=Vec3(0, 2.0, 0))
-        w.attach(bullet, Sphere(0.2), density=8000.0)
-        bullet.linear_velocity = Vec3(speed, 0, 0)
-        old = ccd_mod.CCD_MOTION_THRESHOLD
-        if not use_ccd:
-            ccd_mod.CCD_MOTION_THRESHOLD = 1e9  # effectively off
-        try:
-            for _ in range(40):
-                w.step()
-        finally:
-            ccd_mod.CCD_MOTION_THRESHOLD = old
-        return bullet.position.x < 5.0  # stopped by the wall?
-
-    def run():
-        rows = []
-        # 144/288 m/s step exactly over the wall's 0.6m collision window
-        # at discrete 0.01s sampling; 30 m/s cannot skip it.
-        for speed in (30.0, 144.0, 288.0):
-            rows.append(
-                (
-                    f"{speed:.0f} m/s",
-                    "stopped" if tunnel_test(speed, False) else "TUNNELED",
-                    "stopped" if tunnel_test(speed, True) else "TUNNELED",
-                )
-            )
-        return rows
-
-    rows = run_once(benchmark, run)
-    text = format_table(
-        ("projectile speed", "without CCD", "with CCD"),
-        rows, "ablation — continuous collision detection",
-    )
+    rows, text = run_once(benchmark, ccd_study)
     save_result("ablation_ccd", text)
     assert all(r[2] == "stopped" for r in rows)
     assert any(r[1] == "TUNNELED" for r in rows)  # CCD is load-bearing
 
 
 def test_ablation_broadphase_strategies(benchmark, save_result):
-    import random
-
-    rng = random.Random(5)
-    geoms = []
-    for _ in range(300):
-        b = Body(
-            position=Vec3(
-                rng.uniform(-25, 25), rng.uniform(0, 8), rng.uniform(-25, 25)
-            )
-        )
-        b.set_mass_from_shape(Sphere(0.5), 1.0)
-        geoms.append(Geom(Sphere(0.5), body=b))
-
-    def run():
-        rows = []
-        oracle = None
-        for name, bp in (
-            ("brute-force", BruteForceBroadphase()),
-            ("sweep-and-prune", SweepAndPrune()),
-            ("spatial-hash", SpatialHashBroadphase(cell_size=2.0)),
-        ):
-            pairs = bp.pairs(geoms)
-            if oracle is None:
-                oracle = {(a.gid, b.gid) for a, b in pairs}
-            assert {(a.gid, b.gid) for a, b in pairs} == oracle
-            rows.append((name, bp.last_stats["tests"], len(pairs)))
-        return rows
-
-    rows = run_once(benchmark, run)
-    text = format_table(
-        ("strategy", "AABB tests", "pairs"),
-        rows, "ablation — broadphase strategies (300 spheres)",
-    )
+    # broadphase_study raises AssertionError itself if SAP or the
+    # spatial hash ever disagrees with the brute-force oracle.
+    rows, text = run_once(benchmark, broadphase_study)
     save_result("ablation_broadphase", text)
     brute, sap, _hash = rows
     assert sap[1] < brute[1] * 0.5  # SAP prunes most pair tests

@@ -27,6 +27,25 @@ frame time, and the migration bit-identity verdict:
     PYTHONPATH=src python scripts/perf_report.py --serve \\
         --out BENCH_9.json
 
+``--ablation`` runs the feature-ablation matrix (``repro.ablation``)
+over the Table 3 workloads and records per-feature importance scores:
+
+    PYTHONPATH=src python scripts/perf_report.py --ablation \\
+        --out BENCH_10.json
+
+``--all`` emits every non-serve snapshot (BENCH_5/6/8/10) in one
+process under ``--out-dir`` (default ``results/bench``) — the one CI
+invocation.  The gate side:
+
+    PYTHONPATH=src python scripts/perf_report.py --check \\
+        --dir fresh --trajectory results/bench/trajectory.json
+
+compares a directory of freshly emitted BENCH files against the
+committed trajectory's per-metric tolerance bands and exits nonzero on
+any regression; ``--update-trajectory --dir results/bench`` rebuilds
+the trajectory from the BENCH files in a directory (run it after an
+intentional perf change and commit the result).
+
 ``REPRO_SERVE_SESSIONS`` / ``REPRO_SERVE_WORKERS`` /
 ``REPRO_SERVE_FRAMES`` size the serve run.
 ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_FRAMES`` (and, for the
@@ -266,9 +285,76 @@ def lint_snapshot():
     }
 
 
+def ablation_snapshot(scale, frames, jobs=None):
+    """Run the feature-ablation matrix (``repro.ablation``)."""
+    from repro.ablation import AblationConfig, AblationRunner
+
+    config = AblationConfig(scale=scale, frames=frames, jobs=jobs)
+    payload = AblationRunner(config).run(
+        progress=lambda msg: print(msg, flush=True))
+    for name, feature in sorted(payload["features"].items()):
+        summary = feature["summary"]
+        print(f"{name:16s} dfps {summary['mean_delta_fps_pct']:+7.1f}% "
+              f"importance {summary['importance']:.3f} "
+              f"{'OK' if summary['all_validate_ok'] else 'INVALID'}")
+    return payload
+
+
+def _envelope(section, body):
+    schemas = {
+        "engine": "repro-perf-report/1",
+        "comparison": "repro-backend-comparison/1",
+        "lint": "repro-lint-report/1",
+        "serve": "repro-serve-loadtest/1",
+        "ablation": "repro-ablation-report/1",
+    }
+    report = {
+        "schema": schemas[section],
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    if section == "engine":
+        report.update(body)
+    else:
+        report[section] = body
+    return report
+
+
+def check_trajectory(trajectory_path, directory, update=False):
+    """Gate (or rebuild) the committed trajectory; returns exit code."""
+    from repro.ablation import trajectory as traj
+
+    if update:
+        doc = traj.build_trajectory(directory, settings={
+            "scale": os.environ.get("REPRO_BENCH_SCALE", "0.03"),
+            "frames": os.environ.get("REPRO_BENCH_FRAMES", "2"),
+        })
+        traj.save(doc, trajectory_path)
+        print(f"wrote {trajectory_path} "
+              f"({len(doc['metrics'])} metrics from "
+              f"{', '.join(doc['sources'])})")
+        return 0
+
+    doc = traj.load(trajectory_path)
+    results = traj.check_directory(doc, directory)
+    failures = [r for r in results if not r.ok]
+    for r in results:
+        status = "PASS" if r.ok else "FAIL"
+        print(f"{status} {r.id}: {r.detail}")
+    print(f"perf-gate: {len(results) - len(failures)}/{len(results)} "
+          f"metrics within tolerance"
+          + (f", {len(failures)} REGRESSED" if failures else ""))
+    return 1 if failures else 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default=None)
+    parser.add_argument("--out", default=None,
+                        help="output path for a single-mode run "
+                             "(overrides --out-dir)")
+    parser.add_argument("--out-dir", default="results/bench",
+                        help="directory BENCH files land in (used by "
+                             "--all, or when --out is not given)")
     parser.add_argument("--scale", type=float,
                         default=float(os.environ.get(
                             "REPRO_BENCH_SCALE", "0.03")))
@@ -286,6 +372,26 @@ def main(argv=None):
                         help="emit the sharded-service load-test "
                              "snapshot (BENCH_9): throughput, p95 "
                              "frame time, migration bit-identity")
+    parser.add_argument("--ablation", action="store_true",
+                        help="emit the feature-ablation importance "
+                             "matrix (BENCH_10)")
+    parser.add_argument("--all", action="store_true",
+                        help="emit BENCH_5/6/8/10 in one process "
+                             "under --out-dir")
+    parser.add_argument("--check", action="store_true",
+                        help="compare fresh BENCH files in --dir "
+                             "against --trajectory; exit nonzero on "
+                             "any out-of-band metric")
+    parser.add_argument("--update-trajectory", action="store_true",
+                        help="rebuild --trajectory from the BENCH "
+                             "files in --dir")
+    parser.add_argument("--dir", default="results/bench",
+                        help="directory of BENCH files for --check / "
+                             "--update-trajectory")
+    parser.add_argument("--trajectory",
+                        default="results/bench/trajectory.json")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for --ablation")
     parser.add_argument("--serve-sessions", type=int,
                         default=int(os.environ.get(
                             "REPRO_SERVE_SESSIONS", "24")))
@@ -303,46 +409,55 @@ def main(argv=None):
                             "REPRO_BENCH_BATCH", "32")))
     args = parser.parse_args(argv)
 
-    if args.serve:
-        out = args.out or "BENCH_9.json"
-        report = {
-            "schema": "repro-serve-loadtest/1",
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "serve": serve_snapshot(args.serve_sessions,
-                                    args.serve_workers,
-                                    args.serve_frames),
-        }
+    if args.check or args.update_trajectory:
+        return check_trajectory(args.trajectory, args.dir,
+                                update=args.update_trajectory)
+
+    def perf_body():
+        return {"engine_microbench_seconds": engine_microbench(),
+                "modeled": modeled_phases(args.scale, args.frames)}
+
+    emitters = {
+        "BENCH_5.json": ("engine", perf_body),
+        "BENCH_6.json": ("comparison", lambda: backend_comparison(
+            args.scale, args.frames, args.repeats, args.batch_n)),
+        "BENCH_8.json": ("lint", lint_snapshot),
+        "BENCH_9.json": ("serve", lambda: serve_snapshot(
+            args.serve_sessions, args.serve_workers,
+            args.serve_frames)),
+        "BENCH_10.json": ("ablation", lambda: ablation_snapshot(
+            args.scale, args.frames, args.jobs)),
+    }
+    if args.all:
+        # Everything except serve, which CI runs in its own job with
+        # event-loop isolation.
+        selected = ["BENCH_5.json", "BENCH_6.json", "BENCH_8.json",
+                    "BENCH_10.json"]
+    elif args.serve:
+        selected = ["BENCH_9.json"]
     elif args.lint:
-        out = args.out or "BENCH_8.json"
-        report = {
-            "schema": "repro-lint-report/1",
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "lint": lint_snapshot(),
-        }
+        selected = ["BENCH_8.json"]
     elif args.compare_backends:
-        out = args.out or "BENCH_6.json"
-        report = {
-            "schema": "repro-backend-comparison/1",
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "comparison": backend_comparison(
-                args.scale, args.frames, args.repeats, args.batch_n),
-        }
+        selected = ["BENCH_6.json"]
+    elif args.ablation:
+        selected = ["BENCH_10.json"]
     else:
-        out = args.out or "BENCH_5.json"
-        report = {
-            "schema": "repro-perf-report/1",
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "engine_microbench_seconds": engine_microbench(),
-            "modeled": modeled_phases(args.scale, args.frames),
-        }
-    with open(out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {out}")
+        selected = ["BENCH_5.json"]
+
+    for filename in selected:
+        section, build = emitters[filename]
+        report = _envelope(section, build())
+        if args.out and not args.all:
+            out = args.out
+        else:
+            out = os.path.join(args.out_dir, filename)
+        out_dir = os.path.dirname(out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}")
     return 0
 
 

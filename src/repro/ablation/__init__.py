@@ -1,0 +1,37 @@
+"""Unified feature-ablation framework (ROADMAP item 4).
+
+One registry of every toggleable engine/arch feature, one runner that
+expands the baseline-plus-one-off matrix, executes it in parallel with
+memoized per-config results, and scores per-feature importance (Δfps,
+Δsolver-row-updates, Δdeterminism-digest) per Table 3 workload::
+
+    PYTHONPATH=src python -m repro.ablation \\
+        --features all --workloads table3 --scale 0.03
+
+emits a schema-versioned ``BENCH_10.json``; ``scripts/perf_report.py
+--check`` gates fresh runs against the committed
+``results/bench/trajectory.json`` (see :mod:`repro.ablation.trajectory`
+for the tolerance-band semantics).  :mod:`repro.ablation.studies` holds
+the four focused single-mechanism scenes behind
+``results/ablation_*.txt``.
+"""
+
+from .features import Feature, FeatureRegistry, default_registry
+from .runner import (
+    SCHEMA,
+    TABLE3_WORKLOADS,
+    AblationConfig,
+    AblationRunner,
+    make_report,
+)
+
+__all__ = [
+    "AblationConfig",
+    "AblationRunner",
+    "Feature",
+    "FeatureRegistry",
+    "SCHEMA",
+    "TABLE3_WORKLOADS",
+    "default_registry",
+    "make_report",
+]

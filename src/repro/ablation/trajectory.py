@@ -1,0 +1,299 @@
+"""The committed bench trajectory and its per-metric tolerance bands.
+
+``results/bench/trajectory.json`` pins, per metric, the value a fresh
+smoke run must reproduce and the band it must stay inside.  Deterministic
+quantities (lint finding counts, migration divergence, trajectory
+digests, solver row-update counters, modeled-FPS numbers derived from
+recorded touch traces) are gated **exactly**; wall-clock throughput gets
+a relative band (default: no worse than −15%, the smoke-scale budget
+from the CI contract).
+
+Schema (``repro-bench-trajectory/1``)::
+
+    {"schema": "...", "settings": {...}, "metrics": [
+        {"id": "lint.new_findings", "source": "BENCH_8.json",
+         "path": "lint.new_findings", "value": 0,
+         "tolerance": {"kind": "exact"}},
+        ...]}
+
+Tolerance kinds:
+
+``exact``             value must compare equal (``==``).
+``rel``               ``min_ratio <= fresh/expected <= max_ratio``
+                      (either bound optional).
+``abs``               ``|fresh - expected| <= max_delta``.
+``min`` / ``max``     fresh bounded below / above by ``value``
+                      (the committed value is the bound itself).
+
+``check_directory`` locates each metric's source file anywhere under
+the checked directory (CI artifacts flatten paths unpredictably), so a
+*missing* source is a hard failure — a deleted emission step cannot
+silently pass the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = ["SCHEMA", "MetricResult", "load", "save",
+           "check_directory", "build_trajectory"]
+
+SCHEMA = "repro-bench-trajectory/1"
+
+#: Wall-clock fps must stay within -15% of the committed value
+#: (ISSUE-10 CI contract; bands are data — edit the trajectory to
+#: retune).
+FPS_MIN_RATIO = 0.85
+#: Per-feature importance is fps-derived, so it gets an absolute band
+#: (importance is a fraction; +/-0.35 tolerates smoke-scale noise while
+#: catching order-of-magnitude regressions).  Large importances (the
+#: numpy fast path sits near 1.2) scale proportionally: the band is
+#: ``max(IMPORTANCE_MAX_DELTA, IMPORTANCE_REL_FRACTION * value)``.
+IMPORTANCE_MAX_DELTA = 0.35
+IMPORTANCE_REL_FRACTION = 0.5
+#: Committed geomean backend speedups are floors scaled by this factor
+#: (a 2.7x speedup gates at >= 1.35x on a noisy runner).
+SPEEDUP_FLOOR_FACTOR = 0.5
+
+
+class MetricResult:
+    """Outcome of checking one trajectory metric."""
+
+    def __init__(self, metric: dict, ok: bool, fresh, detail: str):
+        self.metric = metric
+        self.ok = ok
+        self.fresh = fresh
+        self.detail = detail
+
+    @property
+    def id(self) -> str:
+        return self.metric["id"]
+
+    def __repr__(self):
+        status = "PASS" if self.ok else "FAIL"
+        return f"MetricResult({self.id!r}, {status})"
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, "
+            f"got {doc.get('schema')!r}")
+    return doc
+
+
+def save(doc: dict, path: str):
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def extract(doc, path: str):
+    """Walk a dotted ``path`` through nested dicts; KeyError if absent."""
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(path)
+        node = node[part]
+    return node
+
+
+def _compare(tolerance: dict, expected, fresh):
+    """(ok, detail) for one metric under its tolerance band."""
+    kind = tolerance.get("kind", "exact")
+    if kind == "exact":
+        ok = fresh == expected
+        return ok, f"{fresh!r} {'==' if ok else '!='} {expected!r}"
+    if kind == "rel":
+        if not expected:
+            return False, f"rel band undefined for expected={expected!r}"
+        ratio = fresh / expected
+        lo = tolerance.get("min_ratio")
+        hi = tolerance.get("max_ratio")
+        ok = ((lo is None or ratio >= lo)
+              and (hi is None or ratio <= hi))
+        band = (f"[{lo if lo is not None else '-inf'}, "
+                f"{hi if hi is not None else 'inf'}]")
+        return ok, f"ratio {ratio:.4f} vs {band} (expected {expected:g})"
+    if kind == "abs":
+        delta = abs(fresh - expected)
+        limit = tolerance["max_delta"]
+        return delta <= limit, (f"|delta| {delta:.4f} <= {limit:g} "
+                                f"(expected {expected:g})")
+    if kind == "min":
+        return fresh >= expected, f"{fresh:g} >= floor {expected:g}"
+    if kind == "max":
+        return fresh <= expected, f"{fresh:g} <= ceiling {expected:g}"
+    return False, f"unknown tolerance kind {kind!r}"
+
+
+def _locate_sources(directory: str) -> dict:
+    """filename -> path for every .json under ``directory`` (sorted
+    walk; the first match wins, so layout quirks are deterministic)."""
+    found = {}
+    for dirpath, dirnames, filenames in os.walk(directory):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(".json") and name not in found:
+                found[name] = os.path.join(dirpath, name)
+    return found
+
+
+def check_directory(trajectory: dict, directory: str):
+    """Check every trajectory metric against fresh files in
+    ``directory``; returns a list of :class:`MetricResult`."""
+    sources = _locate_sources(directory)
+    docs = {}
+    results = []
+    for metric in trajectory.get("metrics", []):
+        source = metric["source"]
+        if source not in docs:
+            path = sources.get(source)
+            if path is None:
+                results.append(MetricResult(
+                    metric, False, None,
+                    f"source file {source} missing from {directory}"))
+                continue
+            with open(path, encoding="utf-8") as fh:
+                docs[source] = json.load(fh)
+        try:
+            fresh = extract(docs[source], metric["path"])
+        except KeyError:
+            results.append(MetricResult(
+                metric, False, None,
+                f"path {metric['path']!r} missing from {source}"))
+            continue
+        ok, detail = _compare(metric["tolerance"], metric["value"],
+                              fresh)
+        results.append(MetricResult(metric, ok, fresh, detail))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# trajectory construction (the band policy, in one place)
+
+
+def _metric(id_, source, path, value, tolerance) -> dict:
+    return {"id": id_, "source": source, "path": path, "value": value,
+            "tolerance": tolerance}
+
+
+def _lint_metrics(doc) -> list:
+    src = "BENCH_8.json"
+    out = []
+    for field in ("new_findings", "baselined_findings", "exit_code"):
+        out.append(_metric(
+            f"lint.{field}", src, f"lint.{field}",
+            extract(doc, f"lint.{field}"), {"kind": "exact"}))
+    return out
+
+
+def _serve_metrics(doc) -> list:
+    src = "BENCH_9.json"
+    # ``repro.serve.loadtest --out`` writes the raw report; the
+    # ``perf_report.py --serve`` envelope nests it under ``serve``.
+    prefix = "serve." if "serve" in doc else ""
+    out = []
+    for field, tolerance in (
+            ("migration.divergence", {"kind": "exact"}),
+            ("migration.verified", {"kind": "exact"})):
+        path = prefix + field
+        out.append(_metric(
+            f"serve.{field}", src, path, extract(doc, path), tolerance))
+    return out
+
+
+def _backend_metrics(doc) -> list:
+    src = "BENCH_6.json"
+    out = []
+    for field in ("geomean_numpy_speedup", "geomean_batch_speedup"):
+        value = extract(doc, f"comparison.{field}")
+        out.append(_metric(
+            f"backend.{field}", src, f"comparison.{field}",
+            value * SPEEDUP_FLOOR_FACTOR, {"kind": "min"}))
+    return out
+
+
+def _ablation_metrics(doc) -> list:
+    src = "BENCH_10.json"
+    out = []
+    ablation = extract(doc, "ablation")
+    for workload, metrics in sorted(ablation["baseline"].items()):
+        out.append(_metric(
+            f"ablation.baseline.{workload}.fps", src,
+            f"ablation.baseline.{workload}.fps", metrics["fps"],
+            {"kind": "rel", "min_ratio": FPS_MIN_RATIO}))
+    for name, feature in sorted(ablation["features"].items()):
+        base = f"ablation.features.{name}"
+        for workload, cell in sorted(feature["workloads"].items()):
+            wbase = f"{base}.workloads.{workload}"
+            out.append(_metric(
+                f"{wbase}.validate_ok", src, f"{wbase}.validate_ok",
+                cell["validate_ok"], {"kind": "exact"}))
+            out.append(_metric(
+                f"{wbase}.digest_changed", src,
+                f"{wbase}.digest_changed", cell["digest_changed"],
+                {"kind": "exact"}))
+            out.append(_metric(
+                f"{wbase}.delta_row_updates_pct", src,
+                f"{wbase}.delta_row_updates_pct",
+                cell["delta_row_updates_pct"], {"kind": "exact"}))
+            if feature["kind"] == "arch":
+                # Modeled FPS is computed from deterministic counters
+                # and touch traces — gate it exactly.
+                out.append(_metric(
+                    f"{wbase}.delta_fps_pct", src,
+                    f"{wbase}.delta_fps_pct", cell["delta_fps_pct"],
+                    {"kind": "exact"}))
+        importance = feature["summary"]["importance"]
+        out.append(_metric(
+            f"{base}.summary.importance", src,
+            f"{base}.summary.importance", importance,
+            {"kind": "abs", "max_delta": max(
+                IMPORTANCE_MAX_DELTA,
+                IMPORTANCE_REL_FRACTION * abs(importance))}))
+        out.append(_metric(
+            f"{base}.summary.all_validate_ok", src,
+            f"{base}.summary.all_validate_ok",
+            feature["summary"]["all_validate_ok"], {"kind": "exact"}))
+    return out
+
+
+#: filename -> builder; a file absent from the directory is skipped at
+#: *build* time (its metrics simply aren't gated) but NOT at check time.
+SOURCE_BUILDERS = {
+    "BENCH_8.json": _lint_metrics,
+    "BENCH_9.json": _serve_metrics,
+    "BENCH_6.json": _backend_metrics,
+    "BENCH_10.json": _ablation_metrics,
+}
+
+
+def build_trajectory(directory: str, settings: dict = None) -> dict:
+    """Derive a trajectory document from the BENCH files present in
+    ``directory`` using the band policy above."""
+    sources = _locate_sources(directory)
+    metrics = []
+    used = []
+    for filename, builder in SOURCE_BUILDERS.items():
+        path = sources.get(filename)
+        if path is None:
+            continue
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        metrics.extend(builder(doc))
+        used.append(filename)
+    if not metrics:
+        raise FileNotFoundError(
+            f"no BENCH files found under {directory}; expected any of "
+            f"{', '.join(SOURCE_BUILDERS)}")
+    return {
+        "schema": SCHEMA,
+        "sources": used,
+        "settings": dict(settings or {}),
+        "metrics": metrics,
+    }

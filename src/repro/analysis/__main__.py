@@ -14,6 +14,7 @@ import os
 import sys
 import time
 
+from ..ablation.studies import STUDIES
 from ..workloads import run_all
 from . import calibrate, extensions, tables
 from . import experiments as exp
@@ -53,6 +54,12 @@ EXPERIMENTS = {
     "simd": lambda runs: extensions.simd_ablation(),
     "calibration": calibrate.calibration,
 }
+
+# Focused single-mechanism ablation scenes (repro.ablation.studies);
+# scale-independent, so the shared benchmark runs are ignored.
+EXPERIMENTS.update({
+    name: (lambda runs, fn=fn: fn()) for name, fn in STUDIES.items()
+})
 
 
 def main(argv=None):

@@ -121,13 +121,18 @@ class ParallaxConfig:
 
     def __init__(self, cg_cores=1, l2=None, cg_design="desktop",
                  fg_design=None, fg_cores=0,
-                 interconnect: Interconnect = ONCHIP_MESH):
+                 interconnect: Interconnect = ONCHIP_MESH,
+                 prefetch_coverage=None):
         self.cg_cores = cg_cores
         self.l2 = l2 if l2 is not None else L2Partitioning.shared(MB)
         self.cg_design = cg_design
         self.fg_design = fg_design
         self.fg_cores = fg_cores
         self.interconnect = interconnect
+        #: Fraction of each phase's L2 misses a hardware prefetcher
+        #: converts to hits: ``None``, one scalar for every phase, or a
+        #: ``phase -> fraction`` mapping (absent phases get 0).
+        self.prefetch_coverage = prefetch_coverage
 
 
 class OffloadTiming:
@@ -168,11 +173,16 @@ class ParallaxMachine:
             return profile
         return entry[1]
 
-    # -- conventional CMP timing ----------------------------------------
-    def phase_cycles(self, report, phase, threads=1, l2_bytes=None):
-        """Modeled CG cycles for one phase of one frame."""
-        insts = report.phase_instructions()[phase]
-        ipc = phase_ipc(self.config.cg_design, phase)
+    def _coverage(self, phase) -> float:
+        cov = self.config.prefetch_coverage
+        if cov is None:
+            return 0.0
+        if isinstance(cov, dict):
+            cov = cov.get(phase, 0.0)
+        return min(1.0, max(0.0, float(cov)))
+
+    def _phase_misses(self, report, phase, l2_bytes=None):
+        """(accesses, misses) for one phase under the L2 scheme."""
         group, slice_bytes = self.config.l2.slice_for(phase)
         if l2_bytes is not None:
             slice_bytes = l2_bytes
@@ -188,6 +198,14 @@ class ParallaxMachine:
             shared = self._profile(report, None)
             misses = min(misses, shared.misses(
                 self.config.l2.total_bytes, (phase,)))
+        return accesses, misses * (1.0 - self._coverage(phase))
+
+    # -- conventional CMP timing ----------------------------------------
+    def phase_cycles(self, report, phase, threads=1, l2_bytes=None):
+        """Modeled CG cycles for one phase of one frame."""
+        insts = report.phase_instructions()[phase]
+        ipc = phase_ipc(self.config.cg_design, phase)
+        accesses, misses = self._phase_misses(report, phase, l2_bytes)
         cycles = (insts / ipc
                   + accesses * L2_HIT_CYCLES * L2_HIT_EXPOSED
                   + misses * MEM_CYCLES * MEM_EXPOSED)
@@ -219,15 +237,8 @@ class ParallaxMachine:
     def l2_miss_breakdown(self, report, threads=1):
         """User vs OS-kernel L2 misses per frame (Fig 6b)."""
         user = 0.0
-        partitioned = len(self.config.l2.slices) > 1
         for phase in PHASES:
-            group, slice_bytes = self.config.l2.slice_for(phase)
-            profile = self._profile(report, group)
-            misses = profile.misses(slice_bytes, (phase,))
-            if partitioned:
-                shared = self._profile(report, None)
-                misses = min(misses, shared.misses(
-                    self.config.l2.total_bytes, (phase,)))
+            _accesses, misses = self._phase_misses(report, phase)
             user += misses
         # Per-thread working-set duplication inflates user misses a
         # little as threads scale.

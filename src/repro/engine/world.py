@@ -48,7 +48,8 @@ class WorldConfig:
                  linear_damping: float = 0.02,
                  angular_damping: float = 0.05,
                  max_contacts_per_pair: int = 4,
-                 world_bounds: float = 500.0):
+                 world_bounds: float = 500.0,
+                 ccd: bool = True):
         self.gravity = gravity if gravity is not None else Vec3(0, -9.81, 0)
         self.dt = dt
         self.substeps_per_frame = substeps_per_frame
@@ -64,6 +65,7 @@ class WorldConfig:
         self.angular_damping = angular_damping
         self.max_contacts_per_pair = max_contacts_per_pair
         self.world_bounds = world_bounds
+        self.ccd = ccd
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> dict:
@@ -105,7 +107,7 @@ class WorldConfig:
                 "erp", "warm_starting", "broadphase", "auto_sleep",
                 "sleep_linear_threshold", "sleep_angular_threshold",
                 "sleep_time", "linear_damping", "angular_damping",
-                "max_contacts_per_pair", "world_bounds")
+                "max_contacts_per_pair", "world_bounds", "ccd")
 
 
 class World:
@@ -620,7 +622,10 @@ class World:
 
     def _integrate(self, bodies, dt: float):
         bounds = self.config.world_bounds
-        ccd_threshold = ccd_mod.CCD_MOTION_THRESHOLD
+        # ``config.ccd=False`` ablates the swept test entirely; the
+        # module threshold stays the tuning knob when it is on.
+        ccd_threshold = (ccd_mod.CCD_MOTION_THRESHOLD
+                         if self.config.ccd else float("inf"))
         for body in bodies:
             if body.sleeping:
                 continue

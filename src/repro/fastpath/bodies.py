@@ -239,7 +239,8 @@ def _apply_forces_batch(world, live, dt: float):
 def integrate(world, bodies, dt: float):
     """Drop-in for ``World._integrate`` (bit-identical)."""
     bounds = world.config.world_bounds
-    ccd_threshold = ccd_mod.CCD_MOTION_THRESHOLD
+    ccd_threshold = (ccd_mod.CCD_MOTION_THRESHOLD
+                     if world.config.ccd else float("inf"))
     for body in bodies:
         if body.sleeping:
             continue

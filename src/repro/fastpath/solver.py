@@ -87,9 +87,12 @@ class PackedRows:
         def slot(body):
             if body is None:
                 return -1
-            s = slot_of.get(body.uid)
+            # Keyed by identity, NOT body.uid: uid scopes are
+            # per-session, so a multi-world pack (BatchWorld) can hold
+            # distinct bodies with equal uids.
+            s = slot_of.get(body)
             if s is None:
-                s = slot_of[body.uid] = len(bodies)
+                s = slot_of[body] = len(bodies)
                 bodies.append(body)
                 v, w = body.linear_velocity, body.angular_velocity
                 vel.append([v.x, v.y, v.z, w.x, w.y, w.z])

@@ -1,0 +1,236 @@
+"""Unit tests for the feature-ablation framework (``repro.ablation``).
+
+Covers the registry contract (patch validation, selection), matrix
+generation with memoized dedup, the runner end-to-end at tiny scale,
+the batch-packing digest identity the framework is built on, and the
+byte-compatibility of the extracted single-mechanism studies with the
+committed ``results/ablation_*.txt`` artifacts.
+"""
+
+import os
+
+import pytest
+
+from repro.ablation import (
+    AblationConfig,
+    AblationRunner,
+    Feature,
+    FeatureRegistry,
+    TABLE3_WORKLOADS,
+    default_registry,
+    make_report,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+
+class TestFeatureRegistry:
+    def test_default_registry_has_at_least_eight_features(self):
+        assert len(default_registry()) >= 8
+
+    def test_default_registry_names(self):
+        names = default_registry().names()
+        for expected in ("warm_start", "autosleep", "ccd",
+                         "broadphase_sap", "numpy_fastpath",
+                         "batch_packing", "watchdog", "l2_partitioning",
+                         "prefetch"):
+            assert expected in names
+
+    def test_unknown_patch_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown patch keys"):
+            Feature("bad", "d", patch={"solver": "off"})
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown WorldConfig"):
+            Feature("bad", "d", patch={"config": {"not_a_field": 1}})
+
+    def test_arch_feature_requires_arch_keys(self):
+        with pytest.raises(ValueError, match="needs arch_keys"):
+            Feature("bad", "d", kind="arch")
+
+    def test_non_arch_feature_rejects_arch_keys(self):
+        with pytest.raises(ValueError, match="arch-only"):
+            Feature("bad", "d", arch_keys=("a", "b"))
+
+    def test_batch_feature_requires_batch_key(self):
+        with pytest.raises(ValueError, match="'batch' patch key"):
+            Feature("bad", "d", kind="batch",
+                    patch={"backend": "numpy"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown feature kind"):
+            Feature("bad", "d", kind="quantum")
+
+    def test_duplicate_registration_rejected(self):
+        reg = FeatureRegistry([Feature("f", "d")])
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(Feature("f", "d2"))
+
+    def test_select_comma_string_and_all(self):
+        reg = default_registry()
+        assert [f.name for f in reg.select("ccd, warm_start")] \
+            == ["ccd", "warm_start"]
+        assert len(reg.select("all")) == len(reg)
+        assert len(reg.select(None)) == len(reg)
+
+    def test_select_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown feature"):
+            default_registry().select("not_a_feature")
+
+    def test_workload_applicability(self):
+        f = Feature("f", "d", workloads=("mix",))
+        assert f.applicable("mix") and not f.applicable("periodic")
+        assert Feature("g", "d").applicable("anything")
+
+    def test_to_dict_round_trips_fields(self):
+        f = default_registry().get("batch_packing")
+        d = f.to_dict()
+        assert d["kind"] == "batch"
+        assert d["patch"]["batch"] is True
+        assert d["base_patch"] == {"backend": "numpy"}
+
+
+# ---------------------------------------------------------------------------
+# matrix generation
+
+
+class TestMatrix:
+    def test_baseline_shared_across_features(self):
+        cfg = AblationConfig(workloads="periodic", jobs=1)
+        cells, requests = AblationRunner(cfg).build_matrix()
+        # Every engine feature with an empty base patch shares the
+        # baseline request; arch features add no cells at all.
+        assert cells[(None, "periodic", "baseline")] \
+            == cells[("ccd", "periodic", "base")] \
+            == cells[("warm_start", "periodic", "base")]
+        assert ("l2_partitioning", "periodic", "base") not in cells
+        assert len(requests) < len(cells)
+
+    def test_batch_base_dedups_against_numpy_toggle(self):
+        cfg = AblationConfig(workloads="periodic", jobs=1)
+        cells, _requests = AblationRunner(cfg).build_matrix()
+        assert cells[("batch_packing", "periodic", "base")] \
+            == cells[("numpy_fastpath", "periodic", "toggled")]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workloads"):
+            AblationConfig(workloads="periodic,atlantis")
+
+    def test_table3_workloads_resolve(self):
+        assert AblationConfig(workloads="table3").workloads \
+            == list(TABLE3_WORKLOADS)
+
+    def test_pairwise_adds_merged_cells(self):
+        cfg = AblationConfig(workloads="periodic", pairwise=True,
+                             features="warm_start,ccd", jobs=1)
+        cells, _ = AblationRunner(cfg).build_matrix()
+        assert ("warm_start+ccd", "periodic", "pair") in cells
+
+    def test_merge_patches_conflict_returns_none(self):
+        merge = AblationRunner._merge_patches
+        assert merge({"backend": "numpy"}, {"backend": "scalar"}) is None
+        assert merge({"config": {"ccd": False}},
+                     {"config": {"ccd": True}}) is None
+        merged = merge({"config": {"ccd": False}},
+                       {"config": {"warm_starting": False}})
+        assert merged == {"config": {"ccd": False,
+                                     "warm_starting": False}}
+
+
+# ---------------------------------------------------------------------------
+# runner (tiny end-to-end)
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        cfg = AblationConfig(workloads="continuous", scale=0.02,
+                             frames=2, jobs=1, batch_worlds=2)
+        return AblationRunner(cfg).run()
+
+    def test_every_feature_scored(self, payload):
+        assert len(payload["features"]) >= 8
+        for feature in payload["features"].values():
+            summary = feature["summary"]
+            assert "importance" in summary
+            assert summary["workloads"] == 1
+
+    def test_toggling_keeps_world_valid(self, payload):
+        for name, feature in payload["features"].items():
+            assert feature["summary"]["all_validate_ok"], name
+
+    def test_matrix_memoization_reported(self, payload):
+        matrix = payload["matrix"]
+        assert matrix["unique_runs"] < matrix["total_cells"]
+        assert matrix["memo_hits"] \
+            == matrix["total_cells"] - matrix["unique_runs"]
+
+    def test_numpy_fastpath_digest_unchanged(self, payload):
+        # The numpy backend is bit-identical to the scalar oracle by
+        # contract, so toggling it must not move the trajectory.
+        cell = payload["features"]["numpy_fastpath"]["workloads"][
+            "continuous"]
+        assert cell["digest_changed"] is False
+
+    def test_arch_features_priced_from_baseline(self, payload):
+        modeled = payload["baseline"]["continuous"]["modeled"]
+        cell = payload["features"]["l2_partitioning"]["workloads"][
+            "continuous"]
+        assert cell["base_fps"] == modeled["modeled_fps_paper"]
+        assert cell["toggled_fps"] == modeled["modeled_fps_shared_l2"]
+        assert cell["digest_changed"] is False
+
+    def test_report_envelope(self, payload):
+        report = make_report(payload)
+        assert report["schema"] == "repro-ablation-report/1"
+        assert report["ablation"] is payload
+
+
+def test_batch_packing_is_bit_identical_across_worlds():
+    """Packing N worlds must not perturb any member's trajectory —
+    including worlds whose bodies share uid values (uid scopes are
+    per-session, so cross-world uid collisions are the normal case)."""
+    from repro.api import Session, SessionGroup, SessionSpec
+
+    def spec(seed):
+        return SessionSpec("highspeed", scale=0.02, seed=seed,
+                           backend="numpy")
+
+    solo = [Session.create(spec(s)) for s in range(2)]
+    for s in solo:
+        s.step(2)
+    packed = [Session.create(spec(s)) for s in range(2)]
+    SessionGroup(packed).step(2)
+    for a, b in zip(solo, packed):
+        assert a.state_digest() == b.state_digest()
+
+
+# ---------------------------------------------------------------------------
+# studies
+
+
+class TestStudies:
+    def test_studies_match_committed_artifacts(self):
+        from repro.ablation.studies import STUDIES
+
+        for name, fn in STUDIES.items():
+            path = os.path.join(REPO, "results", f"{name}.txt")
+            with open(path, encoding="utf-8") as fh:
+                committed = fh.read()
+            _rows, text = fn()
+            assert text + "\n" == committed, (
+                f"{name} drifted from results/{name}.txt; regenerate "
+                f"with: python -m repro.analysis --experiments {name}")
+
+    def test_ccd_config_toggle_matches_threshold_ablation(self):
+        """WorldConfig.ccd=False reproduces the old module-threshold
+        monkeypatch: the fast bullet tunnels, the slow one cannot."""
+        from repro.ablation.studies import _tunnel_test
+
+        assert _tunnel_test(30.0, False)        # too slow to tunnel
+        assert not _tunnel_test(288.0, False)   # tunnels without CCD
+        assert _tunnel_test(288.0, True)        # CCD stops it

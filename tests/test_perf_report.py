@@ -1,0 +1,243 @@
+"""Tests for ``scripts/perf_report.py`` and the trajectory gate.
+
+The heavy emitters (microbench, backend comparison, ablation matrix)
+are exercised by their own suites; here we pin the *gate* semantics:
+schema round-trips, tolerance-band edge cases, the committed
+``results/bench`` directory passing its own trajectory, and synthetic
+regressions exiting nonzero.
+"""
+
+import importlib.util
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.ablation import trajectory as traj
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO, "results", "bench")
+TRAJECTORY = os.path.join(BENCH_DIR, "trajectory.json")
+
+
+def _load_perf_report():
+    spec = importlib.util.spec_from_file_location(
+        "perf_report", os.path.join(REPO, "scripts", "perf_report.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+perf_report = _load_perf_report()
+
+
+# ---------------------------------------------------------------------------
+# tolerance bands
+
+
+class TestCompare:
+    def test_exact(self):
+        ok, _ = traj._compare({"kind": "exact"}, 0, 0)
+        assert ok
+        ok, _ = traj._compare({"kind": "exact"}, 0, 1)
+        assert not ok
+
+    def test_exact_bool(self):
+        ok, _ = traj._compare({"kind": "exact"}, True, True)
+        assert ok
+        ok, _ = traj._compare({"kind": "exact"}, True, False)
+        assert not ok
+
+    def test_rel_lower_bound_boundary(self):
+        band = {"kind": "rel", "min_ratio": 0.85}
+        assert traj._compare(band, 100.0, 85.0)[0]        # exactly -15%
+        assert not traj._compare(band, 100.0, 84.999)[0]  # just below
+        assert traj._compare(band, 100.0, 1000.0)[0]      # faster: fine
+
+    def test_rel_upper_bound(self):
+        band = {"kind": "rel", "min_ratio": 0.5, "max_ratio": 2.0}
+        assert traj._compare(band, 10.0, 20.0)[0]
+        assert not traj._compare(band, 10.0, 20.001)[0]
+
+    def test_rel_zero_expected_is_failure(self):
+        ok, detail = traj._compare({"kind": "rel", "min_ratio": 0.85},
+                                   0.0, 1.0)
+        assert not ok and "undefined" in detail
+
+    def test_abs_boundary(self):
+        # Binary-exact values so the boundary comparison is not at the
+        # mercy of float rounding.
+        band = {"kind": "abs", "max_delta": 0.25}
+        assert traj._compare(band, 1.0, 1.25)[0]
+        assert traj._compare(band, 1.0, 0.75)[0]
+        assert not traj._compare(band, 1.0, 1.3)[0]
+
+    def test_min_max_floors_and_ceilings(self):
+        assert traj._compare({"kind": "min"}, 1.35, 1.35)[0]
+        assert not traj._compare({"kind": "min"}, 1.35, 1.34)[0]
+        assert traj._compare({"kind": "max"}, 5.0, 5.0)[0]
+        assert not traj._compare({"kind": "max"}, 5.0, 5.1)[0]
+
+    def test_unknown_kind_is_failure(self):
+        ok, detail = traj._compare({"kind": "fuzzy"}, 1, 1)
+        assert not ok and "unknown tolerance kind" in detail
+
+
+class TestExtract:
+    def test_walks_dotted_path(self):
+        doc = {"a": {"b": {"c": 3}}}
+        assert traj.extract(doc, "a.b.c") == 3
+
+    def test_missing_path_raises(self):
+        with pytest.raises(KeyError):
+            traj.extract({"a": {}}, "a.b")
+
+
+# ---------------------------------------------------------------------------
+# schema round-trips
+
+
+class TestSchema:
+    def test_trajectory_round_trip(self, tmp_path):
+        doc = {"schema": traj.SCHEMA, "sources": [], "settings": {},
+               "metrics": []}
+        path = str(tmp_path / "t.json")
+        traj.save(doc, path)
+        assert traj.load(path) == doc
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        with open(path, "w") as fh:
+            json.dump({"schema": "something-else/9"}, fh)
+        with pytest.raises(ValueError, match="expected schema"):
+            traj.load(path)
+
+    def test_envelope_schemas(self):
+        for section, schema in (
+                ("lint", "repro-lint-report/1"),
+                ("serve", "repro-serve-loadtest/1"),
+                ("comparison", "repro-backend-comparison/1"),
+                ("ablation", "repro-ablation-report/1")):
+            report = perf_report._envelope(section, {"x": 1})
+            assert report["schema"] == schema
+            assert report[section] == {"x": 1}
+            assert "python" in report and "platform" in report
+
+    def test_engine_envelope_merges_body(self):
+        report = perf_report._envelope("engine", {"modeled": {}})
+        assert report["schema"] == "repro-perf-report/1"
+        assert "modeled" in report
+
+
+# ---------------------------------------------------------------------------
+# the committed gate
+
+
+class TestCommittedTrajectory:
+    def test_committed_dir_passes_its_own_gate(self):
+        doc = traj.load(TRAJECTORY)
+        results = traj.check_directory(doc, BENCH_DIR)
+        failures = [r for r in results if not r.ok]
+        assert results and not failures, failures
+
+    def test_committed_gate_via_cli(self):
+        assert perf_report.main([
+            "--check", "--dir", BENCH_DIR,
+            "--trajectory", TRAJECTORY]) == 0
+
+    def test_trajectory_covers_all_bench_sources(self):
+        doc = traj.load(TRAJECTORY)
+        assert set(doc["sources"]) == {"BENCH_6.json", "BENCH_8.json",
+                                       "BENCH_9.json", "BENCH_10.json"}
+
+    def test_gates_at_least_eight_features(self):
+        doc = traj.load(TRAJECTORY)
+        features = {m["id"].split(".")[2] for m in doc["metrics"]
+                    if m["id"].startswith("ablation.features.")}
+        assert len(features) >= 8
+
+
+class TestSyntheticRegression:
+    @pytest.fixture()
+    def fresh_dir(self, tmp_path):
+        fresh = tmp_path / "fresh"
+        shutil.copytree(BENCH_DIR, fresh)
+        os.remove(str(fresh / "trajectory.json"))
+        return fresh
+
+    def _edit(self, fresh, name, mutate):
+        path = str(fresh / name)
+        with open(path) as fh:
+            doc = json.load(fh)
+        mutate(doc)
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+
+    def _check(self, fresh):
+        return perf_report.main([
+            "--check", "--dir", str(fresh),
+            "--trajectory", TRAJECTORY])
+
+    def test_unmodified_copy_passes(self, fresh_dir):
+        assert self._check(fresh_dir) == 0
+
+    def test_lint_regression_fails(self, fresh_dir):
+        self._edit(fresh_dir, "BENCH_8.json",
+                   lambda d: d["lint"].update(new_findings=5))
+        assert self._check(fresh_dir) == 1
+
+    def test_fps_regression_fails(self, fresh_dir):
+        def slow_down(doc):
+            for metrics in doc["ablation"]["baseline"].values():
+                metrics["fps"] *= 0.5
+        self._edit(fresh_dir, "BENCH_10.json", slow_down)
+        assert self._check(fresh_dir) == 1
+
+    def test_migration_divergence_fails(self, fresh_dir):
+        self._edit(fresh_dir, "BENCH_9.json",
+                   lambda d: d["migration"].update(divergence=1e-9))
+        assert self._check(fresh_dir) == 1
+
+    def test_digest_flip_fails(self, fresh_dir):
+        def flip(doc):
+            cells = doc["ablation"]["features"]["ccd"]["workloads"]
+            for cell in cells.values():
+                cell["digest_changed"] = not cell["digest_changed"]
+        self._edit(fresh_dir, "BENCH_10.json", flip)
+        assert self._check(fresh_dir) == 1
+
+    def test_missing_source_file_fails(self, fresh_dir):
+        os.remove(str(fresh_dir / "BENCH_10.json"))
+        assert self._check(fresh_dir) == 1
+
+    def test_missing_path_fails(self, fresh_dir):
+        self._edit(fresh_dir, "BENCH_8.json",
+                   lambda d: d["lint"].pop("exit_code"))
+        assert self._check(fresh_dir) == 1
+
+    def test_sources_found_in_nested_layout(self, fresh_dir, tmp_path):
+        # CI artifact downloads flatten unpredictably; the checker must
+        # find sources anywhere under the directory.
+        nested = tmp_path / "outer"
+        (nested / "deep").mkdir(parents=True)
+        for name in os.listdir(str(fresh_dir)):
+            shutil.move(str(fresh_dir / name), str(nested / "deep" / name))
+        assert perf_report.main([
+            "--check", "--dir", str(nested),
+            "--trajectory", TRAJECTORY]) == 0
+
+
+class TestUpdateTrajectory:
+    def test_rebuild_round_trips(self, tmp_path):
+        out = str(tmp_path / "t.json")
+        assert perf_report.main([
+            "--update-trajectory", "--dir", BENCH_DIR,
+            "--trajectory", out]) == 0
+        doc = traj.load(out)
+        results = traj.check_directory(doc, BENCH_DIR)
+        assert results and all(r.ok for r in results)
+
+    def test_empty_dir_is_an_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            traj.build_trajectory(str(tmp_path))
